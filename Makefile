@@ -1,0 +1,33 @@
+# Convenience targets for the DART reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-full examples lint-quick all
+
+install:
+	pip install -e . --no-build-isolation || \
+	  echo "$(CURDIR)/src" > "$$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth"
+	$(PYTHON) -c "import repro; print('repro', repro.__version__, 'importable')"
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+experiments:
+	$(PYTHON) -m repro.experiments
+
+experiments-full:
+	$(PYTHON) -m repro.experiments --full
+
+examples:
+	@for script in examples/*.py; do \
+	  echo "=== $$script ==="; \
+	  $(PYTHON) $$script || exit 1; \
+	done
+
+all: test bench examples

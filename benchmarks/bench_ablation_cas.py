@@ -1,0 +1,36 @@
+"""Section 7 ablation: two plain WRITEs vs WRITE + Compare&Swap.
+
+The paper suggests the CAS variant "can potentially improve queryability";
+this bench quantifies the gain across loads and also exercises the real
+packet-level CAS store.
+"""
+
+from repro.core.cas_store import CasDartStore
+from repro.experiments import ablations
+from repro.experiments.reporting import print_experiment
+
+
+def test_cas_vs_writes(run_once, full_scale):
+    num_slots = 1 << (20 if full_scale else 17)
+    rows = run_once(ablations.cas_strategy_rows, num_slots=num_slots)
+    print_experiment("Ablation: WRITE+WRITE vs WRITE+CAS", rows)
+    # CAS wins at every load (keeping a first-writer slot resists churn).
+    assert all(row["cas_gain"] > 0 for row in rows)
+    # The gain is substantial around load 1 (where it matters most).
+    near_one = [r for r in rows if 0.9 <= r["load_factor"] <= 1.5]
+    assert all(r["cas_gain"] > 0.05 for r in near_one)
+
+
+def test_cas_packet_store_kernel(benchmark):
+    """Throughput of the packet-level CAS store (real RoCEv2 frames)."""
+    store = CasDartStore(num_slots=1 << 12)
+    counter = [0]
+
+    def put_get():
+        counter[0] += 1
+        key = b"flow-%d" % counter[0]
+        store.put(key, counter[0] % (1 << 40))
+        return store.get(key)
+
+    value = benchmark(put_get)
+    assert value is not None

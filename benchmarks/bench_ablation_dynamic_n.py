@@ -1,0 +1,47 @@
+"""Section 5.1 future-work ablation: dynamic redundancy control.
+
+"Dynamically adjusting N as the load fluctuates could improve queryability
+and efficiency" -- this bench runs a load ramp and compares every static N
+against the theory-driven controller.
+"""
+
+import numpy as np
+
+from repro.experiments import ablations
+from repro.experiments.reporting import print_experiment
+
+
+def test_dynamic_n_across_load_ramp(run_once, full_scale):
+    num_slots = 1 << (19 if full_scale else 16)
+    rows = run_once(ablations.dynamic_n_rows, num_slots=num_slots)
+    print_experiment("Ablation: static vs dynamic N across a load ramp", rows)
+
+    summary = rows[-1]
+    assert summary["load_factor"] == "MEAN"
+    static_means = [summary[k] for k in summary if k.startswith("success_n")]
+    # The controller must at least match the best static choice overall
+    # (it lags the ramp by one EWMA step, hence the small tolerance).
+    assert summary["success_adaptive"] >= max(static_means) - 0.01
+
+    # It actually adapts: different N at the light and heavy ends.
+    steps = rows[:-1]
+    assert steps[0]["adaptive_n"] > steps[-1]["adaptive_n"]
+
+
+def test_controller_decision_kernel(benchmark):
+    """Per-interval controller cost (runs on the operator control plane)."""
+    from repro.core.config import DartConfig
+    from repro.core.dynamic_n import DynamicRedundancyController
+
+    controller = DynamicRedundancyController(
+        DartConfig(redundancy=4, slots_per_collector=1 << 16)
+    )
+    loads = np.random.default_rng(0).integers(100, 60_000, size=1000)
+    index = [0]
+
+    def step():
+        index[0] = (index[0] + 1) % len(loads)
+        return controller.observe_interval(int(loads[index[0]]))
+
+    n = benchmark(step)
+    assert 1 <= n <= 4

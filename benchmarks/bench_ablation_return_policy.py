@@ -1,0 +1,34 @@
+"""Section 4 ablation: query return policies.
+
+The paper describes several ways to resolve the N slot reads into an
+answer, trading empty returns against return errors.  This bench measures
+all four policies at an adversarial configuration (high load, 8-bit
+checksums) where the differences are visible.
+"""
+
+from repro.experiments import ablations
+from repro.experiments.reporting import print_experiment
+
+
+def test_return_policy_tradeoff(run_once, full_scale):
+    num_slots = 1 << (20 if full_scale else 17)
+    rows = run_once(ablations.return_policy_rows, num_slots=num_slots)
+    print_experiment("Ablation: return policies (load 2.0, b=8)", rows)
+    by = {row["policy"]: row for row in rows}
+
+    # Errors: first-match >= plurality >= consensus-2 (= 0 here).
+    assert by["first_match"]["error_rate"] >= by["plurality"]["error_rate"]
+    assert by["plurality"]["error_rate"] >= by["consensus_2"]["error_rate"]
+    # Consensus trades those errors for many more empty returns.
+    assert by["consensus_2"]["empty_rate"] > by["plurality"]["empty_rate"]
+    # Plurality never answers less accurately than single-value.
+    assert by["plurality"]["success_rate"] >= by["single_value"]["success_rate"] - 1e-9
+
+
+def test_policy_resolution_kernel(benchmark):
+    """Hot-loop cost of the scalar resolver (per-query CPU at operators)."""
+    from repro.core.policies import ReturnPolicy, resolve
+
+    matching = [b"value-a", b"value-a", b"value-b", b"value-a"]
+    result = benchmark(resolve, matching, ReturnPolicy.PLURALITY, 4)
+    assert result.answered and result.value == b"value-a"

@@ -1,0 +1,52 @@
+"""Section 2/3.1 quantifications: collection capacity and placement resilience.
+
+Two claims the paper makes in prose, regenerated as tables:
+
+- section 2: one RNIC ingests more than the CPU stacks by orders of
+  magnitude, so DART collectors survive report storms CPU collectors drop;
+- section 3.1: spreading copies across collectors trades query locality
+  for failure resilience (quadratically fewer unreadable keys at N=2).
+"""
+
+from repro.experiments.reporting import print_experiment
+from repro.experiments.resilience import resilience_rows
+from repro.network.capacity import collector_capacity_rows, storm_comparison_rows
+
+
+def test_collector_capacity(run_once):
+    rows = run_once(collector_capacity_rows)
+    print_experiment("Collection capacity per collector host", rows)
+    by = {r["stack"]: r for r in rows}
+    dart = by["DART (RNIC DMA)"]
+    assert dart["reports_per_sec_per_core"] == 0.0  # zero CPU
+    assert dart["reports_per_sec_per_host"] >= 100 * (
+        by["sockets + Kafka"]["reports_per_sec_per_host"]
+    )
+    assert dart["hosts_for_10k_switches_1mps"] < (
+        by["DPDK + Confluo"]["hosts_for_10k_switches_1mps"] / 10
+    )
+
+
+def test_storm_ingestion(run_once):
+    rows = run_once(storm_comparison_rows)
+    print_experiment("Telemetry storm: delivered fraction per stack", rows)
+    by = {r["stack"]: r for r in rows}
+    assert by["DART (RNIC DMA)"]["delivered_fraction"] == 1.0
+    assert by["DPDK + Confluo"]["delivered_fraction"] < 1.0
+    assert by["sockets + Kafka"]["delivered_fraction"] < (
+        by["DPDK + Confluo"]["delivered_fraction"]
+    )
+
+
+def test_placement_resilience(run_once):
+    rows = run_once(resilience_rows)
+    print_experiment("Placement vs collector failures (N=2)", rows)
+    for row in rows:
+        # Spread placement loses ~quadratically fewer keys...
+        assert row["unreadable_spread"] <= row["unreadable_single"]
+        # ...at N x the query fan-out (the section-3.1 trade).
+        assert row["queries_contact_spread"] == 2
+    # The quadratic advantage is largest at small failure fractions:
+    # 1 of 16 collectors down -> 1/16 lost vs (1/16)^2.
+    best_case = rows[0]
+    assert best_case["unreadable_single"] > 4 * best_case["unreadable_spread"]

@@ -1,0 +1,80 @@
+"""Library microbenchmarks: the hot paths a downstream user exercises.
+
+Not a paper exhibit -- these track the model's own performance so that
+simulator or codec regressions show up in CI: store put/get, vectorised
+simulation throughput, addressing, and RoCEv2 codec round-trips.
+"""
+
+import numpy as np
+
+from repro.core.addressing import DartAddressing
+from repro.core.config import DartConfig
+from repro.core.simulator import SimulationSpec, simulate
+from repro.collector.store import DartStore
+from repro.rdma.packets import Bth, Opcode, Reth, RoceV2Packet
+
+
+def test_store_put_kernel(benchmark):
+    store = DartStore(DartConfig(slots_per_collector=1 << 16))
+    counter = [0]
+
+    def put():
+        counter[0] += 1
+        return store.put(("flow", counter[0]), b"\x01" * 20)
+
+    copies = benchmark(put)
+    assert copies == 2
+
+
+def test_store_get_kernel(benchmark):
+    store = DartStore(DartConfig(slots_per_collector=1 << 16))
+    for i in range(1000):
+        store.put(("flow", i), i.to_bytes(20, "big"))
+    counter = [0]
+
+    def get():
+        counter[0] = (counter[0] + 1) % 1000
+        return store.get(("flow", counter[0]))
+
+    result = benchmark(get)
+    assert result.answered
+
+
+def test_simulator_throughput(benchmark):
+    """Keys simulated per second in the vectorised path."""
+    spec = SimulationSpec(num_keys=1 << 17, num_slots=1 << 17, redundancy=2)
+    result = benchmark.pedantic(simulate, args=(spec,), rounds=3, iterations=1)
+    assert 0 < result.success_rate < 1
+
+
+def test_addressing_kernel(benchmark):
+    addressing = DartAddressing(DartConfig(slots_per_collector=1 << 20))
+    counter = [0]
+
+    def locate():
+        counter[0] += 1
+        return addressing.locate(("flow", counter[0]))
+
+    locations = benchmark(locate)
+    assert len(locations) == 2
+
+
+def test_addressing_vectorised_kernel(benchmark):
+    addressing = DartAddressing(DartConfig(slots_per_collector=1 << 20))
+    keys = np.arange(1 << 16, dtype=np.uint64)
+    slots = benchmark(addressing.slot_indexes_array, keys, 0)
+    assert slots.shape == keys.shape
+
+
+def test_rocev2_codec_kernel(benchmark):
+    packet = RoceV2Packet(
+        bth=Bth(opcode=int(Opcode.RC_RDMA_WRITE_ONLY), dest_qp=1, psn=0),
+        reth=Reth(virtual_address=0x10000, rkey=1, dma_length=24),
+        payload=b"\x01" * 24,
+    )
+
+    def roundtrip():
+        return RoceV2Packet.unpack(packet.pack())
+
+    decoded = benchmark(roundtrip)
+    assert decoded.payload == packet.payload

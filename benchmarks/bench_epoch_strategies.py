@@ -1,0 +1,38 @@
+"""Section 5.2.1: epoch-based persistence, designed and measured.
+
+The paper proposes DRAM epochs + slow persistent storage for historical
+queries and leaves the details as future work.  This bench measures the
+resulting trade against the default continuous-overwrite region.
+"""
+
+from repro.experiments.epoch_strategies import strategy_rows
+from repro.experiments.reporting import print_experiment
+
+
+def test_epoch_strategy_tradeoff(run_once, full_scale):
+    num_keys = 1_600_000 if full_scale else 400_000
+    rows = run_once(
+        strategy_rows,
+        num_keys=num_keys,
+        num_slots=1 << 17,
+        epoch_keys=num_keys // 8,
+        buckets=8,
+    )
+    print_experiment(
+        "Epoch strategies: continuous vs rotate+archive (section 5.2.1)", rows
+    )
+    mean = rows[-1]
+    buckets = rows[:-1]
+
+    # Historical queryability: rotation+archive is age-independent.
+    archive_values = [r["rotate_archive"] for r in buckets]
+    assert max(archive_values) - min(archive_values) < 0.05
+    # Continuous decays monotonically (allowing tiny noise).
+    continuous = [r["continuous"] for r in buckets]
+    assert continuous[0] < 0.1 < continuous[-1]
+    # The trade the paper anticipates: archives win history, continuous
+    # wins the freshest data.
+    assert mean["rotate_archive"] > mean["continuous"]
+    assert buckets[-1]["continuous"] > buckets[-1]["rotate_archive"]
+    # Without the archive, rotation is strictly worse than with it.
+    assert mean["rotate_no_archive"] < mean["rotate_archive"]

@@ -1,0 +1,47 @@
+"""Section 2 premise: switch-side event detection compresses report rates.
+
+Per-packet INT would swamp any collector; in-switch change detection cuts
+the report stream to "a few million reports per second per switch".  The
+bench sweeps the detector's SRAM cache size and measures the suppression
+ratio and the inflation over an ideal change-only reporter.
+"""
+
+from repro.experiments.reporting import print_experiment
+from repro.switch.event_detection import ChangeDetector, suppression_rows
+
+
+def test_event_suppression_sweep(run_once, full_scale):
+    flows = 5_000 if full_scale else 1_500
+    rows = run_once(
+        suppression_rows,
+        num_flows=flows,
+        packets_per_flow=60,
+        change_every=15,
+        cache_lines_options=(1 << 8, 1 << 12, 1 << 16),
+    )
+    print_experiment("Event detection: report suppression vs cache size", rows)
+    # Bigger caches suppress strictly better.
+    ratios = [row["suppression_ratio"] for row in rows]
+    assert ratios == sorted(ratios)
+    # The largest cache approaches the ideal change-only rate (ideal
+    # suppression here is 60/5 = 12x; collisions cost a small inflation).
+    assert rows[-1]["report_inflation_vs_ideal"] < 1.35
+    assert rows[-1]["suppression_ratio"] > 8
+    # The smallest cache wastes SRAM thrash on collisions.
+    assert rows[0]["report_inflation_vs_ideal"] > rows[-1][
+        "report_inflation_vs_ideal"
+    ]
+
+
+def test_detector_observe_kernel(benchmark):
+    """Per-packet cost of the detector (one register RMW)."""
+    detector = ChangeDetector(cache_lines=1 << 12)
+    counter = [0]
+
+    def observe():
+        counter[0] += 1
+        flow = counter[0] % 256
+        return detector.observe(("flow", flow), (counter[0] // 1024).to_bytes(4, "big"))
+
+    benchmark(observe)
+    assert detector.stats.packets_observed > 0

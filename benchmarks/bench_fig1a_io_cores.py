@@ -1,0 +1,32 @@
+"""Figure 1(a): CPU cores for pure DPDK packet I/O vs datacenter scale.
+
+Regenerates the cores-required curves at 64 B and 128 B reports and checks
+the paper's qualitative claims: thousands of cores at 10 K-switch scale
+(at a few Mreports/s/switch), linear growth, and DART's zero.
+"""
+
+from repro.baselines.cost_model import dpdk_cores_required
+from repro.experiments import fig1
+from repro.experiments.reporting import print_experiment
+
+
+def test_fig1a_cores_table(run_once):
+    rows = run_once(fig1.figure1a_rows)
+    print_experiment("Figure 1(a): DPDK packet-I/O cores", rows)
+
+    by_key = {(r["report_bytes"], r["switches"]): r["dpdk_io_cores"] for r in rows}
+    # Larger reports cost at least as many cores at every scale.
+    for switches in (1_000, 10_000, 100_000):
+        assert by_key[(128, switches)] >= by_key[(64, switches)]
+    # Linear in fleet size.
+    assert by_key[(64, 100_000)] >= 9 * by_key[(64, 10_000)]
+    # The paper's "thousands of cores" at production rates.
+    assert dpdk_cores_required(10_000, 64, reports_per_switch=3_000_000) >= 1000
+    # DART needs zero collection cores.
+    assert all(r["dart_cores"] == 0 for r in rows)
+
+
+def test_fig1a_io_cost_kernel(benchmark):
+    """Microbenchmark the cores arithmetic itself (cheap, many rounds)."""
+    result = benchmark(dpdk_cores_required, 50_000, 64, 1_000_000)
+    assert result > 0

@@ -1,0 +1,73 @@
+"""Figure 1(b): CPU-cycle breakdown of collector stacks.
+
+Prints the 100M-report cycle bill for sockets+Kafka, DPDK+Confluo and DART
+from the published constants, then *measures* the functional miniatures
+ingesting a real report stream and checks the extrapolation matches.
+"""
+
+import pytest
+
+from repro.baselines.cpu_collector import (
+    DpdkConfluoCollector,
+    SocketKafkaCollector,
+    encode_report,
+)
+from repro.experiments import fig1
+from repro.experiments.reporting import print_experiment
+
+
+def test_fig1b_cycle_breakdown(run_once):
+    rows = run_once(fig1.figure1b_rows)
+    print_experiment("Figure 1(b): cycle breakdown, 100M reports", rows)
+
+    by_stack = {r["stack"]: r for r in rows}
+    kafka = by_stack["sockets + Kafka"]
+    confluo = by_stack["DPDK + Confluo"]
+    dart = by_stack["DART (zero-CPU)"]
+
+    # Paper numbers: 504 Gcycles socket I/O; Kafka 11.5x more on storage.
+    assert kafka["io_gcycles"] == pytest.approx(504)
+    assert kafka["storage_vs_io"] == pytest.approx(11.5, rel=0.01)
+    # DPDK I/O is 2.7% of socket I/O; Confluo storage is 114x DPDK I/O.
+    assert confluo["io_gcycles"] == pytest.approx(14)
+    assert confluo["storage_vs_io"] == pytest.approx(114, rel=0.01)
+    # Storage dominates I/O in both stacks; DART's bill is zero.
+    assert kafka["storage_gcycles"] > kafka["io_gcycles"]
+    assert confluo["storage_gcycles"] > confluo["io_gcycles"]
+    assert dart["total_gcycles"] == 0
+
+    validation = fig1.figure1b_functional_validation()
+    print_experiment("Figure 1(b): functional validation", validation)
+    measured = {r["stack"]: r for r in validation}
+    assert measured["sockets + Kafka"][
+        "measured_storage_gcycles_at_100m"
+    ] == pytest.approx(kafka["storage_gcycles"])
+    assert measured["DPDK + Confluo"][
+        "measured_io_gcycles_at_100m"
+    ] == pytest.approx(confluo["io_gcycles"])
+
+
+def test_fig1b_kafka_ingest_kernel(benchmark):
+    """Wall-clock microbenchmark of the Kafka-style functional path."""
+    reports = [encode_report(b"flow-%d" % (i % 257), b"v" * 36) for i in range(1000)]
+
+    def ingest():
+        collector = SocketKafkaCollector()
+        collector.ingest_batch(reports)
+        return collector
+
+    collector = benchmark(ingest)
+    assert collector.reports_ingested == 1000
+
+
+def test_fig1b_confluo_ingest_kernel(benchmark):
+    """Wall-clock microbenchmark of the Confluo-style functional path."""
+    reports = [encode_report(b"flow-%d" % (i % 257), b"v" * 36) for i in range(1000)]
+
+    def ingest():
+        collector = DpdkConfluoCollector()
+        collector.ingest_batch(reports)
+        return collector
+
+    collector = benchmark(ingest)
+    assert collector.query(b"flow-1") is not None

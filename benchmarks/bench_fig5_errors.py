@@ -1,0 +1,47 @@
+"""Figure 5: probability of returning a wrong answer.
+
+Regenerates the return-error measurements across checksum widths and
+loads, verifies they respect the section-4 bounds, reproduces the paper's
+observation that 32-bit checksums yield no observable errors, and fits the
+2^-b scaling law on the measurable widths.
+"""
+
+import pytest
+
+from repro.experiments import fig5
+from repro.experiments.reporting import print_experiment
+
+
+def test_fig5_error_rates(run_once, full_scale):
+    num_slots = 1 << (20 if full_scale else 17)
+    rows = run_once(fig5.figure5_rows, num_slots=num_slots)
+    print_experiment("Figure 5: return errors", rows)
+
+    for row in rows:
+        # Age-averaged measurement must sit below the oldest-key bound.
+        assert row["error_rate_simulated"] <= row["theory_upper_bound_oldest"] * 1.2
+
+    by_bits = {}
+    for row in rows:
+        by_bits.setdefault(row["checksum_bits"], []).append(
+            row["error_rate_simulated"]
+        )
+    # Wider checksums strictly reduce errors (8 > 16 in aggregate).
+    assert sum(by_bits[8]) > sum(by_bits[16])
+    # Paper 5.3: 32-bit simulations "fail to reproduce return-error cases".
+    assert all(rate == 0.0 for rate in by_bits[32])
+    # Errors grow with load at fixed width.
+    b8 = sorted(
+        (r["load_factor"], r["error_rate_simulated"])
+        for r in rows
+        if r["checksum_bits"] == 8
+    )
+    assert b8[-1][1] > b8[0][1]
+
+
+def test_fig5_checksum_scaling_law(run_once):
+    rows = run_once(fig5.checksum_scaling_rows, num_slots=1 << 16)
+    print_experiment("Figure 5 inset: 2^-b scaling", rows)
+    slope = fig5.verify_2exp_scaling(rows)
+    # Each added checksum bit should roughly halve the error rate.
+    assert slope == pytest.approx(-1.0, abs=0.3)

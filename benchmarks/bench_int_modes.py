@@ -1,0 +1,28 @@
+"""Table 1 operationalized: in-band INT vs postcard mode at equal memory.
+
+The two INT rows of Table 1 imply a capacity trade the paper leaves
+implicit: postcards give per-hop visibility but multiply live keys by the
+path length.  This bench measures both modes end to end on the fat tree.
+"""
+
+from repro.network.postcard_sim import mode_comparison_rows
+from repro.experiments.reporting import print_experiment
+
+
+def test_int_mode_tradeoff(run_once, full_scale):
+    flows = 20_000 if full_scale else 5_000
+    rows = run_once(
+        mode_comparison_rows, num_flows=flows, memory_bytes=240 * flows
+    )
+    print_experiment("In-band INT vs postcards at equal memory", rows)
+    by = {r["mode"]: r for r in rows}
+    inband, postcards = by["in-band INT"], by["INT postcards"]
+
+    # Mean fat-tree path length is ~4-5 hops: reports and keys scale by it.
+    ratio = postcards["reports"] / inband["reports"]
+    assert 3.0 < ratio < 5.5
+    # Equal memory, higher load, lower per-key queryability.
+    assert postcards["load_factor"] > 3 * inband["load_factor"]
+    assert inband["success_rate"] > postcards["success_rate"]
+    # In-band at this provisioning stays near-perfect.
+    assert inband["success_rate"] > 0.98

@@ -1,0 +1,22 @@
+"""Table 1: every measurement technique mapped onto DART storage.
+
+Runs one verified scenario per backend through a shared deployment.
+"""
+
+from repro.experiments import table1
+from repro.experiments.reporting import print_experiment
+
+
+def test_table1_all_backends_roundtrip(run_once):
+    rows = run_once(table1.table1_rows)
+    print_experiment("Table 1: measurement backends on DART", rows)
+    assert len(rows) == 6
+    assert all(row["roundtrip_ok"] for row in rows)
+    assert {row["backend"] for row in rows} == {
+        "in-band INT",
+        "INT postcards",
+        "query-based mirroring",
+        "trace analysis",
+        "flow anomalies",
+        "network failures",
+    }

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one paper exhibit.  The heavy experiments run
+once per benchmark (pedantic mode) -- the interesting output is the table
+they print, which mirrors EXPERIMENTS.md; timing is secondary but recorded
+so regressions in the simulator's vectorised paths are visible.
+
+Set ``REPRO_BENCH_FULL=1`` to run paper-scale parameters (slow).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-full",
+        action="store_true",
+        default=bool(os.environ.get("REPRO_BENCH_FULL")),
+        help="run paper-scale benchmark parameters (slow)",
+    )
+
+
+@pytest.fixture
+def full_scale(request):
+    """Whether to use paper-scale parameters."""
+    return request.config.getoption("--repro-full")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

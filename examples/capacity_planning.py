@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Capacity planning with the DART theory (paper section 4).
+
+Before deploying, an operator wants to answer: how much collector memory
+buys how much queryability, which redundancy N should we run, and what
+happens when load spikes?  The closed forms make all three questions
+arithmetic -- no simulation required -- and this script cross-checks the
+answers against the vectorised simulator.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.config import DartConfig
+from repro.core.dynamic_n import DynamicRedundancyController
+from repro.core.simulator import SimulationSpec, simulate
+from repro.experiments.headline import memory_for_target_success
+
+
+def main() -> None:
+    flows = 50_000_000  # expected live telemetry keys
+    print(f"planning for {flows/1e6:.0f}M live flows, 24-byte slots\n")
+
+    # Question 1: memory for a target queryability.
+    print("memory needed per target success rate:")
+    for target in (0.95, 0.99, 0.999):
+        for n in (2, 4):
+            sizing = memory_for_target_success(target, redundancy=n)
+            total_gb = sizing["bytes_per_flow_needed"] * flows / 1e9
+            print(
+                f"  {target:.1%} with N={n}: "
+                f"{sizing['bytes_per_flow_needed']:7.1f} B/flow "
+                f"= {total_gb:6.1f} GB total"
+            )
+    print()
+
+    # Question 2: what does a fixed budget buy?
+    print("queryability from a fixed 10 GB budget:")
+    config = DartConfig.for_memory_budget(10 * 10**9, redundancy=2)
+    alpha = config.load_factor(flows)
+    for n in (1, 2, 3, 4):
+        predicted = theory.average_queryability(alpha, n)
+        print(f"  N={n}: predicted average queryability {predicted:.2%}")
+    best = theory.optimal_redundancy(alpha, (1, 2, 3, 4))
+    print(f"  -> run N={best} at this load (alpha={alpha:.2f})\n")
+
+    # Cross-check the prediction with a scaled simulation (same alpha).
+    sim_slots = 1 << 19
+    spec = SimulationSpec(
+        num_keys=int(alpha * sim_slots), num_slots=sim_slots, redundancy=best
+    )
+    measured = simulate(spec).success_rate
+    predicted = float(theory.average_queryability(alpha, best))
+    print(
+        f"simulation cross-check: predicted {predicted:.4f}, "
+        f"measured {measured:.4f} (diff {abs(predicted-measured):.4f})\n"
+    )
+
+    # Question 3: load spikes.  The dynamic-N controller (section 5.1
+    # future work) rides a diurnal load pattern.
+    print("dynamic N across a diurnal load swing:")
+    controller = DynamicRedundancyController(
+        DartConfig(redundancy=4, slots_per_collector=1 << 20),
+        candidates=(1, 2, 4),
+    )
+    hours = np.linspace(0, 24, 9)
+    for hour in hours:
+        # Load swings 0.1 .. 2.1 over the day.
+        load = 1.1 + np.sin(hour / 24 * 2 * np.pi)
+        keys = int(load * (1 << 20))
+        n = controller.observe_interval(keys)
+        print(
+            f"  t={hour:4.1f}h load={load:4.2f} -> N={n} "
+            f"(predicted queryability {controller.predicted_queryability():.2%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

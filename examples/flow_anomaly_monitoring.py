@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Flow-anomaly monitoring and per-hop troubleshooting.
+
+A datacenter operator's workflow on top of DART, combining two Table-1
+backends sharing one deployment:
+
+1. switches detect per-flow events (latency spikes, drops, path changes)
+   and report them under (flow 5-tuple, anomaly ID) -- flow-event
+   telemetry in the style the paper cites for report rates;
+2. when a flow looks sick, the operator drills down with postcard-mode
+   INT: every switch on the path reported its local view under
+   (switchID, 5-tuple), so per-hop queue depths and latencies localise
+   the problem;
+3. Fetch&Add counters in collector memory (paper section 7) rank flows by
+   event volume without any per-flow state at switches.
+
+Run:  python examples/flow_anomaly_monitoring.py
+"""
+
+import random
+
+from repro.core.config import DartConfig
+from repro.collector.counters import CounterStore
+from repro.collector.store import DartStore
+from repro.network.flows import FlowGenerator
+from repro.network.topology import FatTreeTopology
+from repro.telemetry.anomalies import AnomalyEvent, AnomalyKind, FlowAnomalyBackend
+from repro.telemetry.postcards import PostcardBackend, PostcardMeasurement
+
+
+def main() -> None:
+    rng = random.Random(7)
+    tree = FatTreeTopology(k=4)
+    store = DartStore(DartConfig(slots_per_collector=1 << 15, num_collectors=2))
+    anomalies = FlowAnomalyBackend(store)
+    postcards = PostcardBackend(store)
+    counters = CounterStore(cells_per_row=1 << 12, rows=2)
+
+    flows = FlowGenerator(tree.num_hosts, host_ip=tree.host_ip, seed=7).uniform(300)
+    paths = {
+        f.five_tuple: tree.path(f.src_host, f.dst_host, f.five_tuple) for f in flows
+    }
+
+    # --- Switches at work: postcards on every hop, anomalies on a few ---
+    sick_flows = rng.sample(flows, 5)
+    # Each sick flow hits congestion at the penultimate hop of its path.
+    congested_at = {
+        f.five_tuple: paths[f.five_tuple][max(len(paths[f.five_tuple]) - 2, 0)]
+        for f in sick_flows
+    }
+    for flow in flows:
+        path = paths[flow.five_tuple]
+        sick_here = flow in sick_flows
+        for hop_index, switch_id in enumerate(path):
+            congested = sick_here and switch_id == congested_at[flow.five_tuple]
+            postcards.switch_report(
+                switch_id,
+                flow,
+                PostcardMeasurement(
+                    timestamp_ns=1_000_000 + hop_index,
+                    queue_depth=900 if congested else rng.randrange(5, 40),
+                    egress_port=rng.randrange(32),
+                    hop_latency_ns=250_000 if congested else rng.randrange(500, 3000),
+                    congestion_flag=congested,
+                ),
+            )
+        if sick_here:
+            events = rng.randrange(2, 9)
+            for _ in range(events):
+                counters.add(flow.five_tuple)
+            anomalies.report_event(
+                flow.five_tuple,
+                AnomalyEvent(
+                    timestamp_ns=2_000_000,
+                    switch_id=congested_at[flow.five_tuple],
+                    kind=AnomalyKind.LATENCY_SPIKE,
+                    detail=250_000,
+                ),
+            )
+
+    # --- Operator at work ---------------------------------------------
+    print("scanning flows for recorded anomalies...")
+    flagged = [
+        flow
+        for flow in flows
+        if anomalies.last_event(flow.five_tuple, AnomalyKind.LATENCY_SPIKE)
+    ]
+    print(f"  {len(flagged)} of {len(flows)} flows have latency-spike events\n")
+
+    victim = flagged[0]
+    event = anomalies.last_event(victim.five_tuple, AnomalyKind.LATENCY_SPIKE)
+    print(f"drilling into {victim.five_tuple}:")
+    print(
+        f"  event: {event.kind.name} at switch {event.switch_id}, "
+        f"detail={event.detail} ns"
+    )
+    print(f"  event count (Fetch&Add): {counters.estimate(victim.five_tuple)}")
+
+    print("  per-hop postcards:")
+    for switch_id, m in postcards.path_measurements(
+        victim, paths[victim.five_tuple]
+    ).items():
+        if m is None:
+            print(f"    switch {switch_id:3d}: (aged out)")
+            continue
+        marker = "  <-- congested" if m.congestion_flag else ""
+        print(
+            f"    switch {switch_id:3d}: queue={m.queue_depth:4d} "
+            f"latency={m.hop_latency_ns:7d} ns{marker}"
+        )
+
+    culprits = [
+        switch_id
+        for switch_id, m in postcards.path_measurements(
+            victim, paths[victim.five_tuple]
+        ).items()
+        if m is not None and m.congestion_flag
+    ]
+    print(f"\n  diagnosis: congestion at switch {culprits[0]} "
+          f"({tree.switches[culprits[0]].role.value} layer)")
+    assert culprits == [congested_at[victim.five_tuple]]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Anatomy of one DART report: from telemetry event to collector memory.
+
+A didactic walk through the paper's section-6 prototype, one layer at a
+time, printing what each stage produces:
+
+  telemetry event -> I2E mirror -> hash to (collector, address) ->
+  collector lookup table -> PSN register -> RoCEv2 frame (hex) ->
+  NIC validation -> DMA -> operator query.
+
+Run:  python examples/switch_to_wire_walkthrough.py
+"""
+
+from repro.core.client import DartQueryClient
+from repro.core.config import DartConfig
+from repro.collector.collector import CollectorCluster
+from repro.rdma.packets import RoceV2Packet
+from repro.switch.control_plane import SwitchControlPlane
+from repro.switch.dart_switch import DartSwitch
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    lines = []
+    for offset in range(0, len(data), width):
+        chunk = data[offset : offset + width]
+        hexes = " ".join(f"{b:02x}" for b in chunk)
+        lines.append(f"    {offset:04x}  {hexes}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    config = DartConfig(slots_per_collector=1 << 12, num_collectors=4, seed=42)
+    cluster = CollectorCluster(config)
+    switch = DartSwitch(config, switch_id=3)
+    SwitchControlPlane(config).connect_switch(switch, cluster)
+
+    key = ("10.1.0.2", "10.3.1.3", 48000, 443, 6)  # flow 5-tuple
+    value = b"\x00\x00\x00\x07" * 5  # 5 hops through switch 7 (toy)
+
+    print("1. telemetry event at the switch")
+    print(f"   key   = {key}")
+    print(f"   value = {value.hex()} ({len(value)} bytes = 160 bits)\n")
+
+    print("2. stateless addressing (global hash functions)")
+    collector_id = switch.addressing.collector_of(key)
+    checksum = switch.addressing.checksum_of(key)
+    print(f"   collector  = hash_c(key) mod {config.num_collectors} -> {collector_id}")
+    for n in range(config.redundancy):
+        print(
+            f"   copy {n}: slot = hash_{n}(key) mod "
+            f"{config.slots_per_collector} -> {switch.addressing.slot_index(key, n)}"
+        )
+    print(f"   checksum   = {checksum:#010x} (32-bit, stored in the slot)\n")
+
+    print("3. collector lookup table (match-action, ~20B SRAM/collector)")
+    action, params = switch.collector_table.lookup(collector_id)
+    print(f"   action = {action}")
+    for field, value_ in params.items():
+        shown = hex(value_) if isinstance(value_, int) else value_
+        print(f"     {field} = {shown}")
+    print(f"   PSN register[{collector_id}] = "
+          f"{switch.psn_registers.read(collector_id)}\n")
+
+    print("4. crafted RoCEv2 frames (one RDMA WRITE per copy)")
+    frames = switch.report(key, value)
+    for index, (cid, frame) in enumerate(frames):
+        packet = RoceV2Packet.unpack(frame)  # validates iCRC
+        print(
+            f"   frame {index}: {len(frame)} B to collector {cid}, "
+            f"PSN={packet.bth.psn}, VA={packet.reth.virtual_address:#x}"
+        )
+    print("   frame 0 hex dump:")
+    print(hexdump(frames[0][1]))
+    print()
+
+    print("5. NIC ingestion (zero collector CPU)")
+    for cid, frame in frames:
+        accepted = cluster[cid].receive_frame(frame)
+        print(f"   collector {cid}: frame accepted={accepted}")
+    nic = cluster[collector_id].nic
+    print(f"   NIC counters: {nic.counters.writes_executed} WRITEs executed, "
+          f"{nic.counters.frames_dropped} dropped\n")
+
+    print("6. operator query (the only CPU involvement)")
+    client = DartQueryClient(config, reader=cluster.read_slot)
+    result = client.query(key)
+    print(f"   outcome = {result.outcome.value}")
+    print(f"   value   = {result.value.hex()}")
+    print(f"   matched {result.matches}/{result.slots_read} slots")
+    assert result.value == value
+
+    print("\n7. tampering check: flip one wire bit and the NIC drops it")
+    tampered = bytearray(frames[0][1])
+    tampered[-10] ^= 0x01
+    accepted = cluster[frames[0][0]].receive_frame(bytes(tampered))
+    print(f"   tampered frame accepted={accepted} "
+          f"(dropped by iCRC, CPU never woken)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro -- a reproduction of "Zero-CPU Collection with Direct Telemetry
+Access" (DART, HotNets 2021).
+
+DART lets programmable switches write telemetry reports straight into
+collectors' memory over RDMA, bypassing collector CPUs.  This package
+implements the full system in Python: the DART algorithm and its theory,
+a byte-accurate RoCEv2/RNIC model, a P4-style switch model, collector
+hosts with epoch persistence, Table-1 telemetry backends, a fat-tree
+network simulator and the CPU-collector baselines of Figure 1.
+
+Quickstart::
+
+    from repro import DartConfig, DartStore
+
+    store = DartStore(DartConfig(slots_per_collector=1 << 16))
+    store.put(("10.0.0.1", "10.0.0.2", 5000, 80, 6), b"hop1hop2hop3")
+    result = store.get(("10.0.0.1", "10.0.0.2", 5000, 80, 6))
+    assert result.answered
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core.config import DartConfig
+from repro.core.addressing import DartAddressing
+from repro.core.policies import QueryOutcome, QueryResult, ReturnPolicy
+from repro.core.reporter import DartReporter
+from repro.core.client import DartQueryClient
+from repro.collector.store import DartStore
+from repro.collector.collector import Collector, CollectorCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Collector",
+    "CollectorCluster",
+    "DartAddressing",
+    "DartConfig",
+    "DartQueryClient",
+    "DartReporter",
+    "DartStore",
+    "QueryOutcome",
+    "QueryResult",
+    "ReturnPolicy",
+    "__version__",
+]

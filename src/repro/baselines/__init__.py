@@ -1,0 +1,43 @@
+"""CPU-based collector baselines (paper section 2, Figure 1).
+
+The paper motivates DART by costing out conventional collection:
+
+- Figure 1(a): CPU cores needed *just to receive* report packets with the
+  DPDK poll-mode driver, across datacenter scales;
+- Figure 1(b): CPU cycles for packet I/O and storage insertion with
+  socket+Kafka and DPDK+Confluo stacks.
+
+This package encodes the published constants behind those figures
+(:mod:`repro.baselines.cost_model`) and also implements *functional*
+miniatures of both stacks (:mod:`repro.baselines.cpu_collector`) so the
+comparison runs as code: reports are actually parsed, logged, indexed and
+queried, with cycle accounting attached to every step.
+"""
+
+from repro.baselines.cost_model import (
+    CONFLUO_STORAGE_CYCLES_PER_REPORT,
+    DPDK_IO_CYCLES_PER_REPORT,
+    KAFKA_STORAGE_CYCLES_PER_REPORT,
+    SOCKET_IO_CYCLES_PER_REPORT,
+    CostModel,
+    dpdk_cores_required,
+    dpdk_pps_per_core,
+)
+from repro.baselines.cpu_collector import (
+    CpuCollectorBase,
+    DpdkConfluoCollector,
+    SocketKafkaCollector,
+)
+
+__all__ = [
+    "CONFLUO_STORAGE_CYCLES_PER_REPORT",
+    "CostModel",
+    "CpuCollectorBase",
+    "DPDK_IO_CYCLES_PER_REPORT",
+    "DpdkConfluoCollector",
+    "KAFKA_STORAGE_CYCLES_PER_REPORT",
+    "SOCKET_IO_CYCLES_PER_REPORT",
+    "SocketKafkaCollector",
+    "dpdk_cores_required",
+    "dpdk_pps_per_core",
+]

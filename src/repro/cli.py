@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operator-facing entry points over the library:
+
+- ``simulate`` -- run the slot-level simulator at a given load/config and
+  print success/empty/error rates next to the closed-form prediction;
+- ``plan`` -- size a deployment: memory per flow for a target success rate;
+- ``theory`` -- tabulate the section-4 closed forms over load/N grids;
+- ``trace`` -- run fat-tree INT path tracing end to end and evaluate it;
+- ``experiments`` -- regenerate every paper exhibit (see
+  :mod:`repro.experiments.__main__`).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.core import theory
+from repro.core.policies import ReturnPolicy
+from repro.core.simulator import SimulationSpec, simulate, simulate_cas_strategy
+from repro.experiments.headline import memory_for_target_success
+from repro.experiments.reporting import format_table
+
+
+def _parse_floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _parse_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = SimulationSpec(
+        num_keys=max(1, int(args.load * args.slots)),
+        num_slots=args.slots,
+        redundancy=args.redundancy,
+        checksum_bits=args.checksum_bits,
+        policy=ReturnPolicy(args.policy),
+        seed=args.seed,
+    )
+    result = simulate_cas_strategy(spec) if args.cas else simulate(spec)
+    rows = [
+        {
+            "strategy": "write+cas" if args.cas else f"{args.redundancy}x write",
+            "load_factor": spec.load_factor,
+            "keys": spec.num_keys,
+            "success_rate": result.success_rate,
+            "empty_rate": result.empty_rate,
+            "error_rate": result.error_rate,
+            "theory_success": float(
+                theory.average_queryability(spec.load_factor, spec.redundancy)
+            ),
+        }
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    rows = []
+    for n in args.redundancy:
+        sizing = memory_for_target_success(args.target, redundancy=n)
+        row = dict(sizing)
+        if args.flows:
+            row["total_gb"] = sizing["bytes_per_flow_needed"] * args.flows / 1e9
+        rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    rows = []
+    for alpha in args.loads:
+        row = {"load_factor": alpha}
+        for n in args.redundancy:
+            row[f"avg_n{n}"] = float(theory.average_queryability(alpha, n))
+        row["optimal_n"] = theory.optimal_redundancy(alpha, args.redundancy)
+        rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.config import DartConfig
+    from repro.network.flows import FlowGenerator
+    from repro.network.simulation import IntSimulation, LossModel
+    from repro.network.topology import FatTreeTopology
+
+    tree = FatTreeTopology(k=args.k)
+    config = DartConfig.for_memory_budget(
+        args.bytes_per_flow * args.flows,
+        redundancy=args.redundancy,
+        value_bytes=20,
+    )
+    sim = IntSimulation(tree, config, loss=LossModel(args.loss, seed=args.seed))
+    flows = FlowGenerator(tree.num_hosts, host_ip=tree.host_ip, seed=args.seed)
+    sim.trace_flows(flows.uniform(args.flows))
+    evaluation = sim.evaluate()
+    print(
+        format_table(
+            [
+                {
+                    "fat_tree_k": args.k,
+                    "flows": evaluation.total,
+                    "bytes_per_flow": args.bytes_per_flow,
+                    "report_loss": args.loss,
+                    "success_rate": evaluation.success_rate,
+                    "empty_rate": evaluation.empty / evaluation.total,
+                    "error_rate": evaluation.error_rate,
+                }
+            ]
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(["--full"] if args.full else [])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DART (HotNets 2021) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate_p = sub.add_parser("simulate", help="run the slot-level simulator")
+    simulate_p.add_argument("--load", type=float, default=0.8)
+    simulate_p.add_argument("--slots", type=int, default=1 << 18)
+    simulate_p.add_argument("--redundancy", type=int, default=2)
+    simulate_p.add_argument("--checksum-bits", type=int, default=32)
+    simulate_p.add_argument(
+        "--policy",
+        choices=[policy.value for policy in ReturnPolicy],
+        default=ReturnPolicy.PLURALITY.value,
+    )
+    simulate_p.add_argument("--cas", action="store_true", help="WRITE+CAS strategy")
+    simulate_p.add_argument("--seed", type=int, default=0)
+    simulate_p.set_defaults(func=_cmd_simulate)
+
+    plan_p = sub.add_parser("plan", help="memory sizing for a success target")
+    plan_p.add_argument("--target", type=float, default=0.999)
+    plan_p.add_argument("--redundancy", type=_parse_ints, default=[2, 4])
+    plan_p.add_argument("--flows", type=int, default=0)
+    plan_p.set_defaults(func=_cmd_plan)
+
+    theory_p = sub.add_parser("theory", help="tabulate section-4 closed forms")
+    theory_p.add_argument("--loads", type=_parse_floats, default=[0.1, 0.5, 1.0, 2.0])
+    theory_p.add_argument("--redundancy", type=_parse_ints, default=[1, 2, 4])
+    theory_p.set_defaults(func=_cmd_theory)
+
+    trace_p = sub.add_parser("trace", help="fat-tree INT path tracing, end to end")
+    trace_p.add_argument("--k", type=int, default=8)
+    trace_p.add_argument("--flows", type=int, default=10_000)
+    trace_p.add_argument("--bytes-per-flow", type=int, default=300)
+    trace_p.add_argument("--redundancy", type=int, default=2)
+    trace_p.add_argument("--loss", type=float, default=0.0)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.set_defaults(func=_cmd_trace)
+
+    experiments_p = sub.add_parser(
+        "experiments", help="regenerate every paper exhibit"
+    )
+    experiments_p.add_argument("--full", action="store_true")
+    experiments_p.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

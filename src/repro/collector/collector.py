@@ -1,0 +1,206 @@
+"""Collector hosts and the collector fleet.
+
+Each collector contributes one registered memory region organised as
+``slots_per_collector`` fixed-size slots, fronted by a software RNIC
+(:class:`~repro.rdma.nic.RdmaNic`).  Switch-crafted RoCEv2 frames are
+delivered to :meth:`Collector.receive_frame`; queries read slots locally
+through :meth:`Collector.read_slot` -- the only point where the collector's
+own CPU touches telemetry data, exactly as in the paper.
+
+:class:`CollectorCluster` builds the fleet a :class:`DartConfig` describes
+and exposes the endpoint table the control plane loads into switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import DartConfig
+from repro.mem.region import MemoryRegion
+from repro.rdma.nic import RdmaNic
+from repro.rdma.qp import PsnPolicy, QueuePair
+
+#: Default virtual address where collectors register their region.  Any
+#: value works; it is advertised through the endpoint table.
+DEFAULT_BASE_ADDRESS = 0x100000
+
+
+@dataclass(frozen=True)
+class CollectorEndpoint:
+    """Everything a switch needs to craft RoCEv2 reports for one collector.
+
+    This is the row format of the "global collector lookup table" the paper
+    keeps as a match-action table in switch SRAM (section 6, ~20 bytes per
+    collector).
+    """
+
+    collector_id: int
+    mac: str
+    ip: str
+    qp_number: int
+    rkey: int
+    base_address: int
+
+    @property
+    def sram_bytes(self) -> int:
+        """On-switch SRAM footprint of this entry.
+
+        MAC (6) + IPv4 (4) + QP number (3) + rkey (4) + base address (8)
+        = 25 bytes of value data; with Tofino table packing the paper
+        reports "about 20 bytes per collector", the same order.
+        """
+        return 6 + 4 + 3 + 4 + 8
+
+
+class Collector:
+    """One collector host: registered region + RNIC + responder QP."""
+
+    def __init__(
+        self,
+        config: DartConfig,
+        collector_id: int,
+        *,
+        base_address: int = DEFAULT_BASE_ADDRESS,
+        psn_policy: PsnPolicy = PsnPolicy.RESYNC_ON_GAP,
+    ) -> None:
+        if not 0 <= collector_id < config.num_collectors:
+            raise ValueError(
+                f"collector_id {collector_id} outside [0, {config.num_collectors})"
+            )
+        self.config = config
+        self.collector_id = collector_id
+        self._psn_policy = psn_policy
+        self._codec = config.slot_codec()
+        self.region = MemoryRegion(
+            size=config.region_bytes,
+            base_address=base_address,
+            rkey=0x1000 + collector_id,
+        )
+        octet_hi, octet_lo = divmod(collector_id % 65025, 255)
+        self.nic = RdmaNic(
+            self.region,
+            mac=f"02:da:47:00:{octet_hi:02x}:{octet_lo:02x}",
+            ip=f"10.{(collector_id >> 16) & 0xFF}.{(collector_id >> 8) & 0xFF}."
+            f"{collector_id & 0xFF}",
+        )
+        self.qp = self.nic.create_queue_pair(
+            QueuePair(qp_number=0x100 + collector_id, policy=psn_policy)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Collector(id={self.collector_id}, "
+            f"slots={self.config.slots_per_collector})"
+        )
+
+    def create_reporter_qp(self, reporter_id: int) -> QueuePair:
+        """A dedicated responder QP for one reporting switch.
+
+        RoCEv2 sequences PSNs per queue pair, so each switch-collector
+        association needs its own QP -- otherwise independent switches'
+        PSN streams would look like duplicates of each other.  Idempotent
+        per reporter.
+        """
+        if reporter_id < 0:
+            raise ValueError("reporter_id must be non-negative")
+        qp_number = 0x10000 + reporter_id
+        existing = self.nic.queue_pair(qp_number)
+        if existing is not None:
+            return existing
+        return self.nic.create_queue_pair(
+            QueuePair(qp_number=qp_number, policy=self._psn_policy)
+        )
+
+    @property
+    def endpoint(self) -> CollectorEndpoint:
+        """The lookup-table row the control plane installs in switches."""
+        return CollectorEndpoint(
+            collector_id=self.collector_id,
+            mac=self.nic.mac,
+            ip=self.nic.ip,
+            qp_number=self.qp.qp_number,
+            rkey=self.region.rkey,
+            base_address=self.region.base_address,
+        )
+
+    # ------------------------------------------------------------------
+    # Data plane (zero CPU): frames land via the NIC
+    # ------------------------------------------------------------------
+
+    def receive_frame(self, frame: bytes) -> bool:
+        """Deliver one wire frame to the collector's NIC."""
+        return self.nic.receive_frame(frame)
+
+    # ------------------------------------------------------------------
+    # Query plane (collector CPU): local slot reads
+    # ------------------------------------------------------------------
+
+    def read_slot(self, slot_index: int) -> bytes:
+        """Raw bytes of one slot, read locally by the query engine."""
+        if not 0 <= slot_index < self.config.slots_per_collector:
+            raise ValueError(
+                f"slot_index {slot_index} outside "
+                f"[0, {self.config.slots_per_collector})"
+            )
+        slot_bytes = self.config.slot_bytes
+        return self.region.read_offset(slot_index * slot_bytes, slot_bytes)
+
+    def write_slot(self, slot_index: int, payload: bytes) -> None:
+        """Direct local slot write -- the in-process fast path for stores.
+
+        Packet-level deployments never call this; it exists so that the
+        statistical and application layers can skip wire encoding.
+        """
+        if len(payload) != self.config.slot_bytes:
+            raise ValueError(
+                f"payload of {len(payload)} bytes does not match slot size "
+                f"{self.config.slot_bytes}"
+            )
+        if not 0 <= slot_index < self.config.slots_per_collector:
+            raise ValueError(
+                f"slot_index {slot_index} outside "
+                f"[0, {self.config.slots_per_collector})"
+            )
+        self.region.write_offset(slot_index * self.config.slot_bytes, payload)
+
+    def clear(self) -> None:
+        """Zero the region (start a fresh epoch)."""
+        self.region.clear()
+
+
+class CollectorCluster:
+    """The collector fleet for one deployment config."""
+
+    def __init__(self, config: DartConfig, **collector_kwargs) -> None:
+        self.config = config
+        self.collectors: List[Collector] = [
+            Collector(config, collector_id, **collector_kwargs)
+            for collector_id in range(config.num_collectors)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.collectors)
+
+    def __getitem__(self, collector_id: int) -> Collector:
+        return self.collectors[collector_id]
+
+    def __iter__(self):
+        return iter(self.collectors)
+
+    def endpoints(self) -> Dict[int, CollectorEndpoint]:
+        """The full lookup table the control plane pushes to switches."""
+        return {c.collector_id: c.endpoint for c in self.collectors}
+
+    def read_slot(self, collector_id: int, slot_index: int) -> bytes:
+        """Fleet-wide slot reader (plugs into a query client)."""
+        return self.collectors[collector_id].read_slot(slot_index)
+
+    def total_memory_bytes(self) -> int:
+        """Sum of all collectors' registered-region sizes."""
+        return sum(collector.region.size for collector in self.collectors)
+
+    def clear(self) -> None:
+        """Zero every collector's region (fleet-wide fresh epoch)."""
+        for collector in self.collectors:
+            collector.clear()

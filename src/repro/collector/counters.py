@@ -1,0 +1,191 @@
+"""Fetch&Add flow counters living directly in collector memory.
+
+Paper section 7: "Fetch & Add can be used to implement flow-counters
+directly in collectors' memory (saving resources at switches) or to perform
+network-wide aggregation of sketches."  This module builds that idea on the
+substrates: each counter key hashes (with the same global hash family) to a
+bank of 8-byte cells, and switches emit RDMA FETCH_ADD packets instead of
+keeping per-flow state locally.
+
+Collisions behave like a conservative count-min row: a cell may aggregate
+several keys, so reads are upper bounds.  Using ``rows > 1`` gives a full
+count-min sketch whose read is the minimum across rows -- the "network-wide
+aggregation of sketches" use case, since increments from different switches
+commute through the atomic adds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import DartConfig
+from repro.hashing.hash_family import HashFamily, Key
+from repro.mem.region import MemoryRegion
+from repro.rdma.nic import RdmaNic
+from repro.rdma.packets import AtomicEth, Bth, Opcode, RoceV2Packet
+from repro.rdma.qp import PsnPolicy, QueuePair
+
+#: Hash-family member base reserved for counter rows (distinct from slot
+#: addressing, collector selection and checksums).
+_COUNTER_FUNCTION_BASE = 0x20000000
+
+
+class CounterStore:
+    """A count-min style counter bank updated by one-sided FETCH_ADDs.
+
+    Parameters
+    ----------
+    cells_per_row:
+        Width of each row (8-byte cells).
+    rows:
+        Number of independent rows; 1 gives plain colliding counters,
+        more rows give a count-min sketch.
+    config:
+        Optional deployment config supplying the hash-family seed.
+    """
+
+    def __init__(
+        self,
+        cells_per_row: int = 1 << 16,
+        rows: int = 1,
+        config: Optional[DartConfig] = None,
+        base_address: int = 0x200000,
+    ) -> None:
+        if cells_per_row < 1:
+            raise ValueError(f"cells_per_row must be >= 1, got {cells_per_row}")
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        self.cells_per_row = cells_per_row
+        self.rows = rows
+        seed = config.seed if config is not None else 0
+        self._family = HashFamily(seed=seed)
+        self.region = MemoryRegion(
+            size=cells_per_row * rows * 8, base_address=base_address, rkey=0x77
+        )
+        self.nic = RdmaNic(self.region)
+        self.qp = self.nic.create_queue_pair(
+            QueuePair(qp_number=0x200, policy=PsnPolicy.IGNORE)
+        )
+        self._psn = 0
+
+    def __repr__(self) -> str:
+        return f"CounterStore(cells_per_row={self.cells_per_row}, rows={self.rows})"
+
+    def _cell_address(self, key: Key, row: int) -> int:
+        index = self._family.hash_key_mod(
+            key, _COUNTER_FUNCTION_BASE + row, self.cells_per_row
+        )
+        offset = (row * self.cells_per_row + index) * 8
+        return self.region.base_address + offset
+
+    # ------------------------------------------------------------------
+    # Write path: switches emit FETCH_ADD frames
+    # ------------------------------------------------------------------
+
+    def craft_add_frames(self, key: Key, amount: int = 1) -> List[bytes]:
+        """The RoCEv2 FETCH_ADD frames a switch emits to count ``key``."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        frames = []
+        for row in range(self.rows):
+            packet = RoceV2Packet(
+                bth=Bth(
+                    opcode=int(Opcode.RC_FETCH_ADD),
+                    dest_qp=self.qp.qp_number,
+                    psn=self._psn,
+                ),
+                atomic_eth=AtomicEth(
+                    virtual_address=self._cell_address(key, row),
+                    rkey=self.region.rkey,
+                    swap_add=amount,
+                ),
+            )
+            self._psn = (self._psn + 1) % (1 << 24)
+            frames.append(packet.pack())
+        return frames
+
+    def add(self, key: Key, amount: int = 1) -> None:
+        """Count ``key`` through the full packet path (switch -> NIC -> DMA)."""
+        for frame in self.craft_add_frames(key, amount):
+            self.nic.receive_frame(frame)
+
+    # ------------------------------------------------------------------
+    # Read path: local memory reads, min across rows
+    # ------------------------------------------------------------------
+
+    def estimate(self, key: Key) -> int:
+        """Count estimate for ``key`` (an upper bound, as in count-min)."""
+        values = []
+        for row in range(self.rows):
+            address = self._cell_address(key, row)
+            values.append(int.from_bytes(self.region.dma_read(address, 8), "big"))
+        return min(values)
+
+    def total_adds(self) -> int:
+        """Number of atomic operations the NIC has executed."""
+        return self.nic.counters.atomics_executed
+
+    # ------------------------------------------------------------------
+    # Count-min sketch semantics (section 7: network-wide aggregation)
+    # ------------------------------------------------------------------
+
+    def total_count(self) -> int:
+        """Sum of all increments (read off row 0, which sees every add)."""
+        row0 = self.region.read_offset(0, self.cells_per_row * 8)
+        return sum(
+            int.from_bytes(row0[offset : offset + 8], "big")
+            for offset in range(0, len(row0), 8)
+        )
+
+    def error_bound(self) -> tuple:
+        """Count-min guarantee ``(epsilon, delta)``.
+
+        With width w and depth d, each estimate exceeds the true count by
+        more than ``epsilon * total`` with probability at most ``delta``,
+        where ``epsilon = e / w`` and ``delta = e^-d``.
+        """
+        import math
+
+        return math.e / self.cells_per_row, math.exp(-self.rows)
+
+    def heavy_hitters(self, candidates, threshold: int) -> list:
+        """Candidates whose estimated count reaches ``threshold``.
+
+        Count-min cannot enumerate keys, so the operator supplies the
+        candidate set (e.g. flows observed by the anomaly backend); the
+        upper-bound property guarantees no true heavy hitter is missed.
+        Returns ``[(key, estimate)]`` sorted by estimate, descending.
+        """
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        hits = [
+            (key, self.estimate(key))
+            for key in candidates
+            if self.estimate(key) >= threshold
+        ]
+        hits.sort(key=lambda item: item[1], reverse=True)
+        return hits
+
+    def merge_from(self, other: "CounterStore") -> None:
+        """Cell-wise merge of another sketch into this one.
+
+        Valid only for identically shaped sketches built from the same
+        hash seed (same cell addressing).  Because every update is an
+        atomic add, merging commutes with concurrent updates -- this is
+        the "network-wide aggregation of sketches" of paper section 7,
+        e.g. folding per-collector sketches into a global one.
+        """
+        if (
+            other.cells_per_row != self.cells_per_row
+            or other.rows != self.rows
+            or other._family != self._family
+        ):
+            raise ValueError("sketches are not mergeable (shape/seed differ)")
+        total_cells = self.cells_per_row * self.rows
+        for index in range(total_cells):
+            offset = index * 8
+            addend = int.from_bytes(other.region.read_offset(offset, 8), "big")
+            if addend:
+                self.region.dma_fetch_add(
+                    self.region.base_address + offset, addend
+                )

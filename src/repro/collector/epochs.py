@@ -1,0 +1,156 @@
+"""Epoch-based persistence for historical queries.
+
+Paper section 5.2.1: direct memory writes give line-rate ingestion but DRAM
+cannot hold network-wide history, so DART proposes "DRAM for temporary
+epoch-based storage ... combined with periodical transfer of data into a
+larger (and much slower) persistent storage where historical queries can be
+answered", leaving the details as future work.  This module supplies a
+working design for that future work:
+
+- :class:`EpochManager` rotates a collector's live region on a fixed epoch
+  boundary, archiving a snapshot and zeroing the region;
+- :class:`EpochArchive` stores snapshots (in memory or on disk) and serves
+  the standard DART query path against any archived epoch, since a snapshot
+  preserves slot addressing exactly.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.client import DartQueryClient
+from repro.core.config import DartConfig
+from repro.core.policies import QueryResult, ReturnPolicy
+from repro.collector.collector import Collector
+from repro.hashing.hash_family import Key
+
+
+class EpochArchive:
+    """Stores per-epoch region snapshots and answers historical queries.
+
+    Parameters
+    ----------
+    config:
+        The deployment config (slot layout must match the archived regions).
+    directory:
+        If given, snapshots are gzip-compressed to disk under this
+        directory (the "much slower persistent storage"); otherwise they
+        are kept in memory.
+    """
+
+    def __init__(self, config: DartConfig, directory: Optional[Path] = None) -> None:
+        self.config = config
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._in_memory: Dict[int, Dict[int, bytes]] = {}
+
+    def _path(self, epoch: int, collector_id: int) -> Path:
+        assert self.directory is not None
+        return self.directory / f"epoch-{epoch:08d}-collector-{collector_id:04d}.bin.gz"
+
+    def store(self, epoch: int, collector_id: int, image: bytes) -> None:
+        """Archive one collector's region snapshot for ``epoch``."""
+        if self.directory is not None:
+            with gzip.open(self._path(epoch, collector_id), "wb") as handle:
+                handle.write(image)
+        else:
+            self._in_memory.setdefault(epoch, {})[collector_id] = image
+
+    def load(self, epoch: int, collector_id: int) -> bytes:
+        """Fetch an archived snapshot; raises ``KeyError`` if absent."""
+        if self.directory is not None:
+            path = self._path(epoch, collector_id)
+            if not path.exists():
+                raise KeyError(f"no archive for epoch {epoch}, collector {collector_id}")
+            with gzip.open(path, "rb") as handle:
+                return handle.read()
+        try:
+            return self._in_memory[epoch][collector_id]
+        except KeyError:
+            raise KeyError(
+                f"no archive for epoch {epoch}, collector {collector_id}"
+            ) from None
+
+    def epochs(self) -> List[int]:
+        """Archived epoch IDs, ascending."""
+        if self.directory is not None:
+            seen = {
+                int(path.name.split("-")[1])
+                for path in self.directory.glob("epoch-*-collector-*.bin.gz")
+            }
+            return sorted(seen)
+        return sorted(self._in_memory)
+
+    def query(
+        self,
+        epoch: int,
+        key: Key,
+        policy: ReturnPolicy = ReturnPolicy.PLURALITY,
+    ) -> QueryResult:
+        """Run the standard DART query against an archived epoch.
+
+        Addressing is identical to live queries because snapshots preserve
+        slot positions; only the reader differs.
+        """
+        slot_bytes = self.config.slot_bytes
+
+        def reader(collector_id: int, slot_index: int) -> bytes:
+            image = self.load(epoch, collector_id)
+            offset = slot_index * slot_bytes
+            return image[offset : offset + slot_bytes]
+
+        client = DartQueryClient(self.config, reader=reader, policy=policy)
+        return client.query(key)
+
+
+class EpochManager:
+    """Rotates collectors through epochs, archiving each region image.
+
+    The manager is driven by report counts (a stand-in for wall-clock
+    epochs): after ``reports_per_epoch`` ingested reports, the current
+    region is snapshotted into the archive and zeroed, bounding the load
+    factor each epoch sees.
+    """
+
+    def __init__(
+        self,
+        collectors: List[Collector],
+        archive: EpochArchive,
+        reports_per_epoch: int,
+    ) -> None:
+        if reports_per_epoch < 1:
+            raise ValueError(
+                f"reports_per_epoch must be >= 1, got {reports_per_epoch}"
+            )
+        self.collectors = collectors
+        self.archive = archive
+        self.reports_per_epoch = reports_per_epoch
+        self.current_epoch = 0
+        self._reports_in_epoch = 0
+
+    def note_report(self, count: int = 1) -> Optional[int]:
+        """Record ingested reports; rotates and returns the archived epoch
+        ID when the boundary is crossed, else ``None``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._reports_in_epoch += count
+        if self._reports_in_epoch < self.reports_per_epoch:
+            return None
+        return self.rotate()
+
+    def rotate(self) -> int:
+        """Archive every collector's region and start a new epoch."""
+        archived_epoch = self.current_epoch
+        for collector in self.collectors:
+            self.archive.store(
+                archived_epoch,
+                collector.collector_id,
+                collector.region.snapshot(),
+            )
+            collector.clear()
+        self.current_epoch += 1
+        self._reports_in_epoch = 0
+        return archived_epoch

@@ -1,0 +1,138 @@
+"""DartStore: the high-level key-value facade over a collector fleet.
+
+This is the public API a downstream user adopts: construct a store from a
+:class:`~repro.core.config.DartConfig`, ``put`` telemetry reports, ``get``
+them back.  Internally it wires a :class:`~repro.core.reporter.DartReporter`
+(the switch-side logic) to a :class:`~repro.collector.collector.CollectorCluster`
+and a :class:`~repro.core.client.DartQueryClient` (the operator-side logic).
+
+Writes use the in-process fast path (direct slot writes) by default; pass
+``packet_level=True`` to route every write through a real switch model,
+RoCEv2 wire encoding and the NIC -- byte-identical results, 1000x slower,
+used by integration tests and the prototype benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import DartQueryClient
+from repro.core.config import DartConfig
+from repro.core.policies import QueryResult, ReturnPolicy
+from repro.core.reporter import DartReporter
+from repro.collector.collector import CollectorCluster
+from repro.hashing.hash_family import Key
+
+
+class DartStore:
+    """A queryable telemetry store with switch-side write semantics.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration (redundancy, checksum width, memory).
+    policy:
+        Default query return policy (paper default: plurality vote).
+    packet_level:
+        Route writes through the P4 switch model and RoCEv2 wire format
+        instead of direct slot writes.
+
+    Examples
+    --------
+    >>> from repro.core.config import DartConfig
+    >>> store = DartStore(DartConfig(slots_per_collector=1024))
+    >>> store.put(("10.0.0.1", "10.0.0.2", 5000, 80, 6), b"path-trace")
+    >>> store.get(("10.0.0.1", "10.0.0.2", 5000, 80, 6)).value[:10]
+    b'path-trace'
+    """
+
+    def __init__(
+        self,
+        config: DartConfig,
+        policy: ReturnPolicy = ReturnPolicy.PLURALITY,
+        packet_level: bool = False,
+    ) -> None:
+        self.config = config
+        self.cluster = CollectorCluster(config)
+        self.reporter = DartReporter(config)
+        self.client = DartQueryClient(
+            config, reader=self.cluster.read_slot, policy=policy
+        )
+        self._switch = None
+        if packet_level:
+            # Imported lazily: the switch model depends on core, and the
+            # store is usable without the packet path.
+            from repro.switch.dart_switch import DartSwitch
+            from repro.switch.control_plane import SwitchControlPlane
+
+            self._switch = DartSwitch(config, switch_id=0)
+            SwitchControlPlane(self.config).provision(
+                self._switch, self.cluster.endpoints()
+            )
+        self.puts = 0
+        self.gets = 0
+
+    def __repr__(self) -> str:
+        mode = "packet-level" if self._switch is not None else "in-process"
+        return f"DartStore(config={self.config!r}, mode={mode})"
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: Key, value: bytes) -> int:
+        """Store a telemetry report; returns the number of slot copies written.
+
+        Later ``put``s of colliding keys may overwrite copies -- by design.
+        """
+        self.puts += 1
+        if self._switch is not None:
+            frames = self._switch.report(key, value)
+            delivered = 0
+            for collector_id, frame in frames:
+                if self.cluster[collector_id].receive_frame(frame):
+                    delivered += 1
+            return delivered
+        writes = self.reporter.writes_for(key, value)
+        for write in writes:
+            self.cluster[write.collector_id].write_slot(
+                write.slot_index, write.payload
+            )
+        return len(writes)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: Key, policy: Optional[ReturnPolicy] = None) -> QueryResult:
+        """Query a key; see :class:`~repro.core.policies.QueryResult`."""
+        self.gets += 1
+        return self.client.query(key, policy=policy)
+
+    def get_value(self, key: Key, policy: Optional[ReturnPolicy] = None) -> Optional[bytes]:
+        """The queried value, or ``None`` on an empty return."""
+        return self.get(key, policy=policy).value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total registered collector memory behind this store."""
+        return self.cluster.total_memory_bytes()
+
+    def load_factor(self, live_keys: Optional[int] = None) -> float:
+        """α for a given (or the observed) number of distinct keys.
+
+        Without an argument this uses the number of ``put`` calls, which
+        overestimates α when keys repeat -- callers tracking distinct keys
+        should pass the true count.
+        """
+        if live_keys is None:
+            live_keys = self.puts
+        return self.config.load_factor(live_keys)
+
+    def clear(self) -> None:
+        """Drop all stored telemetry (fresh epoch)."""
+        self.cluster.clear()

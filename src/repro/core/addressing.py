@@ -1,0 +1,124 @@
+"""Stateless global addressing: key -> collector and key -> N slots.
+
+This module is the heart of DART (paper section 3.1).  Every switch and
+every query client evaluates the same pure functions of (config, key):
+
+- ``collector_of(key)``  -- which collector holds *all* N copies of the key
+  (an independent hash-family member reserved for collector selection);
+- ``slot_index(key, n)`` -- the n-th redundant slot inside that collector's
+  region, for n in [0, N).
+
+No state, no coordination, no per-switch regions: collisions between keys
+are expected and handled probabilistically by redundancy plus checksums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.config import DartConfig
+from repro.hashing.hash_family import Key
+
+#: Hash-family member reserved for the key -> collector mapping.  Slot
+#: addressing uses members [0, N) and the checksum uses its own reserved
+#: index, so collector selection gets a distinct constant.
+COLLECTOR_FUNCTION_INDEX = 0x40000000
+
+
+@dataclass(frozen=True)
+class SlotLocation:
+    """A fully resolved storage location for one copy of a key."""
+
+    collector_id: int
+    slot_index: int
+    copy_index: int  # n in [0, N)
+
+
+class DartAddressing:
+    """Pure key-to-location mapping for a :class:`DartConfig`."""
+
+    def __init__(self, config: DartConfig) -> None:
+        self.config = config
+        self._family = config.hash_family()
+        self._checksum = config.key_checksum()
+
+    def __repr__(self) -> str:
+        return f"DartAddressing({self.config!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DartAddressing) and other.config == self.config
+
+    def __hash__(self) -> int:
+        return hash(("DartAddressing", self.config))
+
+    # ------------------------------------------------------------------
+    # Scalar interface (switches, query clients)
+    # ------------------------------------------------------------------
+
+    def collector_of(self, key: Key) -> int:
+        """Collector ID in [0, num_collectors) holding all copies of ``key``."""
+        return self._family.hash_key_mod(
+            key, COLLECTOR_FUNCTION_INDEX, self.config.num_collectors
+        )
+
+    def slot_index(self, key: Key, copy_index: int) -> int:
+        """Slot index of copy ``copy_index`` within the collector's region."""
+        if not 0 <= copy_index < self.config.redundancy:
+            raise ValueError(
+                f"copy_index {copy_index} outside [0, {self.config.redundancy})"
+            )
+        return self._family.hash_key_mod(
+            key, copy_index, self.config.slots_per_collector
+        )
+
+    def checksum_of(self, key: Key) -> int:
+        """The b-bit key checksum stored in each slot."""
+        return self._checksum.compute(key)
+
+    def locate(self, key: Key) -> List[SlotLocation]:
+        """All N storage locations of ``key`` (same collector by design)."""
+        collector = self.collector_of(key)
+        return [
+            SlotLocation(
+                collector_id=collector,
+                slot_index=self.slot_index(key, n),
+                copy_index=n,
+            )
+            for n in range(self.config.redundancy)
+        ]
+
+    def slot_address(self, base_address: int, slot_index: int) -> int:
+        """Virtual memory address of ``slot_index`` in a region at ``base_address``."""
+        if not 0 <= slot_index < self.config.slots_per_collector:
+            raise ValueError(
+                f"slot_index {slot_index} outside "
+                f"[0, {self.config.slots_per_collector})"
+            )
+        return base_address + slot_index * self.config.slot_bytes
+
+    # ------------------------------------------------------------------
+    # Vectorised interface (statistical simulator)
+    # ------------------------------------------------------------------
+
+    def collectors_of_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised collector selection for integer key identities."""
+        return self._family.hash_array_mod(
+            keys, COLLECTOR_FUNCTION_INDEX, self.config.num_collectors
+        )
+
+    def slot_indexes_array(self, keys: np.ndarray, copy_index: int) -> np.ndarray:
+        """Vectorised slot indexes of copy ``copy_index`` for integer keys."""
+        if not 0 <= copy_index < self.config.redundancy:
+            raise ValueError(
+                f"copy_index {copy_index} outside [0, {self.config.redundancy})"
+            )
+        return self._family.hash_array_mod(
+            keys, copy_index, self.config.slots_per_collector
+        )
+
+    def checksums_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised checksums for integer key identities."""
+        return self._checksum.compute_array(keys)

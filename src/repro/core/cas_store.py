@@ -1,0 +1,158 @@
+"""Packet-level WRITE + Compare&Swap storage strategy (paper section 7).
+
+"For N = 2 hashes and an initially empty table, we can use an RDMA write
+with one hash and Compare & Swap with another (writing to a second slot
+only if it is empty), which simulations show can potentially improve
+queryability."
+
+RDMA atomics operate on a single 8-byte word, so this strategy applies to
+*compact* slots: checksum and value packed into 64 bits (e.g. a 24-bit
+checksum plus a 40-bit value -- enough for counters, event codes or record
+pointers).  The class below runs the real packet path: copy 0 is an
+RDMA WRITE, copy 1 an RDMA CMP_SWAP with compare=0, both crafted as
+RoCEv2 frames and executed by the NIC model.  The statistical twin for
+arbitrary slot sizes is :func:`repro.core.simulator.simulate_cas_strategy`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.addressing import DartAddressing
+from repro.core.config import DartConfig
+from repro.mem.region import MemoryRegion
+from repro.rdma.nic import RdmaNic
+from repro.rdma.packets import (
+    AtomicEth,
+    Bth,
+    Opcode,
+    Reth,
+    RoceV2Packet,
+)
+from repro.rdma.qp import PsnPolicy, QueuePair
+from repro.hashing.hash_family import Key
+
+#: Compact-slot geometry: 24-bit checksum, 40-bit value, one 8-byte word.
+CHECKSUM_BITS = 24
+VALUE_BITS = 40
+_CHECKSUM_MASK = (1 << CHECKSUM_BITS) - 1
+_VALUE_MASK = (1 << VALUE_BITS) - 1
+
+
+def pack_compact_slot(checksum: int, value: int) -> int:
+    """Pack (24-bit checksum, 40-bit value) into one atomic word."""
+    if not 0 <= checksum <= _CHECKSUM_MASK:
+        raise ValueError(f"checksum {checksum:#x} exceeds {CHECKSUM_BITS} bits")
+    if not 0 <= value <= _VALUE_MASK:
+        raise ValueError(f"value {value:#x} exceeds {VALUE_BITS} bits")
+    return (checksum << VALUE_BITS) | value
+
+
+def unpack_compact_slot(word: int) -> Tuple[int, int]:
+    """Inverse of :func:`pack_compact_slot`."""
+    return (word >> VALUE_BITS) & _CHECKSUM_MASK, word & _VALUE_MASK
+
+
+class CasDartStore:
+    """A compact-slot DART store using the WRITE+CAS strategy.
+
+    Slots are single 8-byte words; a stored word of 0 means "empty" (a
+    real key whose packed word is 0 is remapped to 1 -- a one-in-2^64
+    perturbation the checksum machinery absorbs).
+
+    Parameters
+    ----------
+    num_slots:
+        Region size in 8-byte slots.
+    seed:
+        Global hash-family seed shared with queriers.
+    """
+
+    def __init__(self, num_slots: int = 1 << 16, seed: int = 0) -> None:
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        self.num_slots = num_slots
+        # Reuse the standard addressing with a 2-copy compact config.
+        self.config = DartConfig(
+            redundancy=2,
+            checksum_bits=CHECKSUM_BITS,
+            value_bytes=5,  # 40 bits, packed into the atomic word
+            slots_per_collector=num_slots,
+            num_collectors=1,
+            seed=seed,
+        )
+        self.addressing = DartAddressing(self.config)
+        self.region = MemoryRegion(
+            size=num_slots * 8, base_address=0x400000, rkey=0xCA5
+        )
+        self.nic = RdmaNic(self.region)
+        self.qp = self.nic.create_queue_pair(
+            QueuePair(qp_number=0x300, policy=PsnPolicy.IGNORE)
+        )
+        self.puts = 0
+
+    def __repr__(self) -> str:
+        return f"CasDartStore(num_slots={self.num_slots}, puts={self.puts})"
+
+    def _slot_address(self, key: Key, copy_index: int) -> int:
+        slot = self.addressing.slot_index(key, copy_index)
+        return self.region.base_address + slot * 8
+
+    def _packed_word(self, key: Key, value: int) -> int:
+        word = pack_compact_slot(self.addressing.checksum_of(key), value)
+        return word if word != 0 else 1
+
+    # ------------------------------------------------------------------
+    # Write path: one WRITE frame + one CMP_SWAP frame
+    # ------------------------------------------------------------------
+
+    def put(self, key: Key, value: int) -> None:
+        """Store a 40-bit value under ``key`` via WRITE + CAS frames."""
+        word = self._packed_word(key, value)
+        payload = word.to_bytes(8, "big")
+
+        write = RoceV2Packet(
+            bth=Bth(opcode=int(Opcode.RC_RDMA_WRITE_ONLY), dest_qp=0x300),
+            reth=Reth(
+                virtual_address=self._slot_address(key, 0),
+                rkey=self.region.rkey,
+                dma_length=8,
+            ),
+            payload=payload,
+        )
+        cas = RoceV2Packet(
+            bth=Bth(opcode=int(Opcode.RC_CMP_SWAP), dest_qp=0x300),
+            atomic_eth=AtomicEth(
+                virtual_address=self._slot_address(key, 1),
+                rkey=self.region.rkey,
+                swap_add=word,
+                compare=0,  # fill only if the slot is still empty
+            ),
+        )
+        self.nic.receive_frame(write.pack())
+        self.nic.receive_frame(cas.pack())
+        self.puts += 1
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: Key) -> Optional[int]:
+        """The stored 40-bit value, or None on an empty return.
+
+        Reads both slots, keeps checksum matches, and prefers the WRITE
+        slot (it holds the freshest data when both match but disagree).
+        """
+        expected = self.addressing.checksum_of(key)
+        matches = []
+        for copy_index in (0, 1):
+            raw = self.region.dma_read(self._slot_address(key, copy_index), 8)
+            word = int.from_bytes(raw, "big")
+            if word == 0:
+                continue
+            checksum, value = unpack_compact_slot(word)
+            if checksum == expected:
+                matches.append(value)
+        if not matches:
+            return None
+        return matches[0]

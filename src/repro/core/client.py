@@ -1,0 +1,111 @@
+"""The DART read path: operator queries against collector memory.
+
+Queries follow the four steps of paper section 3.2:
+
+1. hash the key to find the collector ID;
+2. look the collector up (a read callback supplied by the deployment);
+3. hash the key into its N slot indexes and read those slots;
+4. discard slots whose stored checksum mismatches the key's, then apply a
+   return policy to what remains.
+
+The client is deliberately decoupled from how slots are read: it receives a
+``SlotReader`` callable, so the same logic serves in-process stores, the
+packet-level collector model and historical epoch archives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.addressing import DartAddressing
+from repro.core.config import DartConfig
+from repro.core.policies import QueryResult, ReturnPolicy, resolve
+from repro.hashing.hash_family import Key
+
+#: Reads one slot: (collector_id, slot_index) -> raw slot bytes.
+SlotReader = Callable[[int, int], bytes]
+
+
+class DartQueryClient:
+    """Executes key-based queries against a DART deployment.
+
+    Parameters
+    ----------
+    config:
+        The shared deployment configuration.
+    reader:
+        Callback that fetches raw slot bytes from a collector's region.
+    policy:
+        Default return policy; individual queries may override it -- the
+        paper notes the policy "can be decided on a per query basis without
+        changing anything else" (section 4).
+    """
+
+    def __init__(
+        self,
+        config: DartConfig,
+        reader: SlotReader,
+        policy: ReturnPolicy = ReturnPolicy.PLURALITY,
+    ) -> None:
+        self.config = config
+        self.addressing = DartAddressing(config)
+        self._codec = config.slot_codec()
+        self._reader = reader
+        self.policy = policy
+        self.queries_executed = 0
+
+    def __repr__(self) -> str:
+        return f"DartQueryClient(config={self.config!r}, policy={self.policy})"
+
+    def query(
+        self, key: Key, policy: Optional[ReturnPolicy] = None
+    ) -> QueryResult:
+        """Run a key query and return the resolved result."""
+        if policy is None:
+            policy = self.policy
+        collector = self.addressing.collector_of(key)
+        expected_checksum = self.addressing.checksum_of(key)
+
+        matching: List[bytes] = []
+        slots_read = 0
+        for n in range(self.config.redundancy):
+            slot_index = self.addressing.slot_index(key, n)
+            raw = self._reader(collector, slot_index)
+            slots_read += 1
+            stored_checksum, value = self._codec.decode(raw)
+            if stored_checksum == expected_checksum:
+                matching.append(value)
+
+        self.queries_executed += 1
+        return resolve(matching, policy, slots_read=slots_read)
+
+    def query_value(
+        self, key: Key, policy: Optional[ReturnPolicy] = None
+    ) -> Optional[bytes]:
+        """Convenience: the returned value, or ``None`` on an empty return."""
+        return self.query(key, policy=policy).value
+
+    def query_many(
+        self, keys, policy: Optional[ReturnPolicy] = None
+    ) -> "dict[Key, QueryResult]":
+        """Batch query: ``{key: QueryResult}`` for each distinct key.
+
+        Operators typically sweep whole key populations (every flow seen
+        by the anomaly backend, every path in an audit); this wraps the
+        per-key path and deduplicates repeated keys.
+        """
+        results: dict = {}
+        for key in keys:
+            if key not in results:
+                results[key] = self.query(key, policy=policy)
+        return results
+
+    def success_fraction(
+        self, keys, policy: Optional[ReturnPolicy] = None
+    ) -> float:
+        """Fraction of ``keys`` whose query answered (operator dashboard
+        number; ground-truth correctness needs the evaluation harnesses)."""
+        results = self.query_many(keys, policy=policy)
+        if not results:
+            raise ValueError("no keys supplied")
+        return sum(r.answered for r in results.values()) / len(results)

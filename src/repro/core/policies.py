@@ -1,0 +1,116 @@
+"""Query return policies.
+
+Paper section 4 discusses several methods for turning the contents of a
+key's N slots into a query answer, trading *empty returns* (no answer)
+against *return errors* (a wrong answer):
+
+- ``SINGLE_VALUE``: answer only if exactly one distinct value appears among
+  the checksum-matching slots (the paper's introductory example).
+- ``PLURALITY``: answer with the most frequent matching value; ties yield
+  an empty return (the paper's suggested default, with 32-bit checksums).
+- ``CONSENSUS_2``: answer only if some matching value appears at least
+  twice -- more conservative, fewer errors, more empties; the paper notes
+  this can be chosen per query without changing anything else.
+- ``FIRST_MATCH``: answer with the first matching slot -- the cheapest and
+  most error-prone; included as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+
+class ReturnPolicy(Enum):
+    """How the N slot reads are resolved into a query answer."""
+
+    SINGLE_VALUE = "single_value"
+    PLURALITY = "plurality"
+    CONSENSUS_2 = "consensus_2"
+    FIRST_MATCH = "first_match"
+
+
+class QueryOutcome(Enum):
+    """Result classes from paper section 4."""
+
+    #: A value was returned (may still be a *return error* -- the store
+    #: cannot tell; only evaluation harnesses with ground truth can).
+    ANSWERED = "answered"
+    #: No answer could be returned (all copies overwritten, or ambiguity).
+    EMPTY = "empty"
+
+
+@dataclass
+class QueryResult:
+    """What a DART query returns to the operator."""
+
+    outcome: QueryOutcome
+    value: Optional[bytes] = None
+    #: Slot values whose stored checksum matched the queried key.
+    matching_values: List[bytes] = field(default_factory=list)
+    #: How many of the N slots were read (always N in the current design).
+    slots_read: int = 0
+    #: Number of slots whose checksum matched.
+    matches: int = 0
+
+    @property
+    def answered(self) -> bool:
+        """Whether a value was returned."""
+        return self.outcome is QueryOutcome.ANSWERED
+
+
+def resolve(
+    matching_values: Sequence[bytes],
+    policy: ReturnPolicy,
+    slots_read: int,
+) -> QueryResult:
+    """Apply a return policy to the checksum-matching slot values.
+
+    ``matching_values`` are the raw value fields of the slots whose stored
+    checksum equals the queried key's checksum, in slot order.
+    """
+    base = QueryResult(
+        outcome=QueryOutcome.EMPTY,
+        matching_values=list(matching_values),
+        slots_read=slots_read,
+        matches=len(matching_values),
+    )
+    if not matching_values:
+        return base
+
+    if policy is ReturnPolicy.FIRST_MATCH:
+        base.outcome = QueryOutcome.ANSWERED
+        base.value = matching_values[0]
+        return base
+
+    counts = Counter(matching_values)
+
+    if policy is ReturnPolicy.SINGLE_VALUE:
+        if len(counts) == 1:
+            base.outcome = QueryOutcome.ANSWERED
+            base.value = matching_values[0]
+        return base
+
+    ranked: List[Tuple[bytes, int]] = counts.most_common()
+
+    if policy is ReturnPolicy.PLURALITY:
+        if len(ranked) == 1 or ranked[0][1] > ranked[1][1]:
+            base.outcome = QueryOutcome.ANSWERED
+            base.value = ranked[0][0]
+        return base
+
+    if policy is ReturnPolicy.CONSENSUS_2:
+        qualified = [value for value, count in ranked if count >= 2]
+        if len(qualified) == 1:
+            base.outcome = QueryOutcome.ANSWERED
+            base.value = qualified[0]
+        elif len(qualified) > 1 and ranked[0][1] > ranked[1][1]:
+            # Multiple values reached the threshold; answer only on a
+            # strict plurality among them.
+            base.outcome = QueryOutcome.ANSWERED
+            base.value = ranked[0][0]
+        return base
+
+    raise ValueError(f"unknown return policy: {policy!r}")

@@ -1,0 +1,139 @@
+"""The DART write path: telemetry (key, value) -> N redundant slot writes.
+
+A reporter is *stateless* with respect to keys: given the shared config it
+deterministically expands one telemetry report into N slot writes, each a
+(collector, slot index, encoded slot bytes) triple.  The switch model turns
+each write into one RoCEv2 packet (the RDMA standard allows only one memory
+instruction per packet -- paper sections 3.1 and 5.1); in-process stores
+apply them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.addressing import DartAddressing
+from repro.core.config import DartConfig
+from repro.hashing.hash_family import Key
+
+
+@dataclass(frozen=True)
+class SlotWrite:
+    """One redundant copy of a telemetry report, ready to be stored."""
+
+    collector_id: int
+    slot_index: int
+    copy_index: int
+    payload: bytes  # encoded slot: checksum || value
+
+    @property
+    def payload_bytes(self) -> int:
+        """Encoded slot size in bytes."""
+        return len(self.payload)
+
+
+class DartReporter:
+    """Expands telemetry reports into redundant slot writes.
+
+    Parameters
+    ----------
+    config:
+        The shared deployment configuration.
+    redundancy:
+        Optional override of ``config.redundancy`` -- used by the dynamic-N
+        controller (paper section 5.1 future work) to shrink or grow the
+        number of copies without changing addressing for existing data.
+        Must not exceed ``config.redundancy`` because queries read exactly
+        ``config.redundancy`` slots.
+    """
+
+    def __init__(self, config: DartConfig, redundancy: Optional[int] = None) -> None:
+        self.config = config
+        self.addressing = DartAddressing(config)
+        self._codec = config.slot_codec()
+        if redundancy is None:
+            redundancy = config.redundancy
+        if not 1 <= redundancy <= config.redundancy:
+            raise ValueError(
+                f"effective redundancy {redundancy} must be in "
+                f"[1, {config.redundancy}]"
+            )
+        self.redundancy = redundancy
+        self.reports_generated = 0
+        self.writes_generated = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"DartReporter(config={self.config!r}, redundancy={self.redundancy})"
+        )
+
+    def encode_slot(self, key: Key, value: bytes) -> bytes:
+        """The slot bytes stored for ``key``: checksum || padded value."""
+        checksum = self.addressing.checksum_of(key)
+        return self._codec.encode(checksum, value)
+
+    def writes_for(self, key: Key, value: bytes) -> List[SlotWrite]:
+        """All redundant slot writes for one telemetry report.
+
+        Every copy carries identical payload; only the slot index differs.
+        All copies target the same collector (paper section 3.1: queries
+        then run locally on one collector without inter-collector traffic).
+        """
+        payload = self.encode_slot(key, value)
+        collector = self.addressing.collector_of(key)
+        writes = [
+            SlotWrite(
+                collector_id=collector,
+                slot_index=self.addressing.slot_index(key, n),
+                copy_index=n,
+                payload=payload,
+            )
+            for n in range(self.redundancy)
+        ]
+        self.reports_generated += 1
+        self.writes_generated += len(writes)
+        return writes
+
+    def write_for_copy(self, key: Key, value: bytes, copy_index: int) -> SlotWrite:
+        """A single copy's write -- what one switch-crafted packet carries.
+
+        The Tofino prototype picks ``copy_index`` with the native RNG per
+        mirrored report packet (paper section 6); this method is that path.
+        """
+        if not 0 <= copy_index < self.config.redundancy:
+            raise ValueError(
+                f"copy_index {copy_index} outside [0, {self.config.redundancy})"
+            )
+        self.writes_generated += 1
+        return SlotWrite(
+            collector_id=self.addressing.collector_of(key),
+            slot_index=self.addressing.slot_index(key, copy_index),
+            copy_index=copy_index,
+            payload=self.encode_slot(key, value),
+        )
+
+    def network_bytes_per_report(self, overhead_per_packet: int = 0) -> int:
+        """Bytes put on the wire per telemetry report.
+
+        N packets, each carrying one slot payload plus per-packet overhead
+        (headers + iCRC).  This is the cost the paper's section 7 hopes to
+        reduce with multi-address SmartNIC primitives.
+        """
+        if overhead_per_packet < 0:
+            raise ValueError("overhead_per_packet must be non-negative")
+        return self.redundancy * (self.config.slot_bytes + overhead_per_packet)
+
+
+def apply_writes(writes: Sequence[SlotWrite], regions, codec=None) -> None:
+    """Apply slot writes directly to a list of memory regions.
+
+    ``regions[collector_id]`` must be a :class:`~repro.mem.region.MemoryRegion`.
+    This is the in-process fast path used by stores and tests; the packet
+    path goes through the switch and NIC models instead.
+    """
+    for write in writes:
+        region = regions[write.collector_id]
+        region.write_offset(
+            write.slot_index * len(write.payload), write.payload
+        )

@@ -1,0 +1,37 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module computes the rows/series of one exhibit and returns plain
+dictionaries; the ``benchmarks/`` tree wraps them in pytest-benchmark
+targets and prints the same tables.  The mapping:
+
+====================  ===========================================
+Module                Paper exhibit
+====================  ===========================================
+``fig1``              Figure 1(a) I/O cores, 1(b) cycle breakdown
+``fig3``              Figure 3 redundancy sweep + optimal-N bands
+``fig4``              Figure 4 data aging at 3/10/30 GB
+``fig5``              Figure 5 return-error probability
+``table1``            Table 1 backend scenarios
+``headline``          Intro/abstract claim: 99.9% at ~300 B/flow
+``prototype``         Section 6 prototype resource/pipeline checks
+``ablations``         Section 7 CAS strategy, return policies,
+                      dynamic N, Fetch&Add counters
+====================  ===========================================
+
+Formatting helpers live in :mod:`repro.experiments.reporting`.
+"""
+
+from repro.experiments import ablations, fig1, fig3, fig4, fig5, headline, prototype, table1
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ablations",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "format_table",
+    "headline",
+    "prototype",
+    "table1",
+]

@@ -1,0 +1,108 @@
+"""Run every experiment and print its table.
+
+Usage::
+
+    python -m repro.experiments            # quick versions of everything
+    python -m repro.experiments --full     # paper-scale parameters (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ablations, fig1, fig3, fig4, fig5, headline, prototype, table1
+from repro.experiments.reporting import print_experiment
+
+
+def main(argv=None) -> int:
+    """Run every experiment and print its table; returns exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at larger scales (tens of millions of simulated keys)",
+    )
+    args = parser.parse_args(argv)
+
+    sim_slots = 1 << 22 if args.full else 1 << 18
+    fig4_scale = 4 if args.full else 20
+    headline_flows = 100_000 if args.full else 30_000
+
+    print_experiment("Figure 1(a): DPDK packet-I/O cores", fig1.figure1a_rows())
+    print_experiment("Figure 1(b): cycle breakdown (100M reports)", fig1.figure1b_rows())
+    print_experiment(
+        "Figure 1(b) functional validation", fig1.figure1b_functional_validation()
+    )
+    print_experiment(
+        "Figure 3: success vs load per N",
+        fig3.figure3_rows(num_slots=sim_slots),
+    )
+    print_experiment("Figure 3: optimal-N bands (theory)", fig3.optimal_band_rows())
+    print_experiment(
+        "Figure 4: aging summary", fig4.figure4_summary(scale=fig4_scale)
+    )
+    print_experiment(
+        "Figure 4: scale invariance", fig4.scale_invariance_rows()
+    )
+    print_experiment("Figure 5: return errors", fig5.figure5_rows(num_slots=sim_slots))
+    print_experiment("Table 1: backends", table1.table1_rows())
+    print_experiment(
+        "Headline: 99.9% at 300B/flow (end-to-end)",
+        headline.headline_rows(num_flows=headline_flows),
+    )
+    print_experiment(
+        "Headline: statistical scale",
+        headline.headline_statistical_rows(
+            num_flows=20_000_000 if args.full else 2_000_000
+        ),
+    )
+    print_experiment(
+        "Prototype: switch SRAM", prototype.prototype_resource_rows()
+    )
+    print_experiment(
+        "Prototype: packet pipeline", prototype.prototype_pipeline_rows()
+    )
+    print_experiment("Prototype: loss robustness", prototype.loss_robustness_rows())
+    print_experiment("Ablation: WRITE+CAS (section 7)", ablations.cas_strategy_rows())
+    print_experiment("Ablation: return policies", ablations.return_policy_rows())
+    print_experiment("Ablation: dynamic N", ablations.dynamic_n_rows())
+    print_experiment("Ablation: Fetch&Add counters", ablations.fetch_add_rows())
+    print_experiment("Ablation: copy placement", ablations.placement_rows())
+
+    from repro.core.coding import coding_comparison_rows
+    from repro.experiments.resilience import resilience_rows
+    from repro.network.capacity import collector_capacity_rows, storm_comparison_rows
+    from repro.network.postcard_sim import mode_comparison_rows
+
+    print_experiment(
+        "Ablation: coding variants (section 4)", coding_comparison_rows()
+    )
+    print_experiment("Capacity: reports/s per collector", collector_capacity_rows())
+    print_experiment("Capacity: telemetry storm", storm_comparison_rows())
+    print_experiment(
+        "Resilience: placement vs collector failures", resilience_rows()
+    )
+    print_experiment(
+        "Table 1 trade: in-band vs postcards", mode_comparison_rows()
+    )
+
+    from repro.experiments.ablations import update_heavy_rows
+    from repro.experiments.epoch_strategies import strategy_rows
+    from repro.switch.event_detection import suppression_rows
+
+    print_experiment(
+        "Section 5.2.1: epoch strategies",
+        strategy_rows(num_keys=200_000, num_slots=1 << 16, epoch_keys=25_000),
+    )
+    print_experiment(
+        "Section 2: event-detection suppression", suppression_rows()
+    )
+    print_experiment(
+        "Update-heavy workload: DART vs log collector",
+        update_heavy_rows(distinct_flows=1_000, reports_per_flow=10),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,272 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Write strategy (section 7): N=2 plain WRITEs vs WRITE + Compare&Swap.
+2. Return policy (section 4): single-value vs plurality vs consensus-2 vs
+   first-match -- the empty-return / return-error trade.
+3. Dynamic N (section 5.1 future work): static redundancy vs the
+   theory-driven controller across a load ramp.
+4. Fetch&Add counters (section 7): collector-memory flow counters and
+   network-wide sketch aggregation.
+5. Copy placement: all copies on one collector (paper design) vs spread
+   across collectors (section 3.1's resiliency alternative).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.config import DartConfig
+from repro.core.dynamic_n import DynamicRedundancyController
+from repro.core.policies import ReturnPolicy
+from repro.core.simulator import (
+    SimulationSpec,
+    simulate,
+    simulate_cas_strategy,
+)
+from repro.collector.counters import CounterStore
+
+
+def cas_strategy_rows(
+    loads: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0),
+    num_slots: int = 1 << 18,
+    seed: int = 0,
+) -> List[dict]:
+    """WRITE+WRITE vs WRITE+CAS queryability across loads (section 7)."""
+    rows = []
+    for alpha in loads:
+        spec = SimulationSpec(
+            num_keys=max(1, int(round(alpha * num_slots))),
+            num_slots=num_slots,
+            redundancy=2,
+            seed=seed,
+        )
+        write = simulate(spec).success_rate
+        cas = simulate_cas_strategy(spec).success_rate
+        rows.append(
+            {
+                "load_factor": alpha,
+                "success_two_writes": write,
+                "success_write_plus_cas": cas,
+                "cas_gain": cas - write,
+            }
+        )
+    return rows
+
+
+def return_policy_rows(
+    load: float = 2.0,
+    checksum_bits: int = 8,
+    num_slots: int = 1 << 18,
+    seed: int = 0,
+) -> List[dict]:
+    """Empty-vs-error trade across return policies at an adversarial
+    configuration (high load, narrow checksum, so differences show)."""
+    rows = []
+    for policy in (
+        ReturnPolicy.FIRST_MATCH,
+        ReturnPolicy.SINGLE_VALUE,
+        ReturnPolicy.PLURALITY,
+        ReturnPolicy.CONSENSUS_2,
+    ):
+        spec = SimulationSpec(
+            num_keys=int(load * num_slots),
+            num_slots=num_slots,
+            checksum_bits=checksum_bits,
+            policy=policy,
+            seed=seed,
+        )
+        result = simulate(spec)
+        rows.append(
+            {
+                "policy": policy.value,
+                "success_rate": result.success_rate,
+                "empty_rate": result.empty_rate,
+                "error_rate": result.error_rate,
+            }
+        )
+    return rows
+
+
+def dynamic_n_rows(
+    load_ramp: Sequence[float] = (0.05, 0.1, 0.3, 0.8, 1.5, 2.5, 3.0),
+    candidates: Sequence[int] = (1, 2, 4),
+    num_slots: int = 1 << 17,
+    seed: int = 0,
+) -> List[dict]:
+    """Static N vs the adaptive controller across a simulated load ramp.
+
+    Each ramp step is simulated independently at its load (an epoch-style
+    deployment); the controller picks N per step from its load estimate.
+    """
+    config = DartConfig(redundancy=max(candidates), slots_per_collector=num_slots)
+    controller = DynamicRedundancyController(config, candidates=candidates)
+
+    per_step = []
+    for alpha in load_ramp:
+        num_keys = max(1, int(alpha * num_slots))
+        n_adaptive = controller.observe_interval(num_keys)
+        step = {"load_factor": alpha, "adaptive_n": n_adaptive}
+        for n in candidates:
+            spec = SimulationSpec(
+                num_keys=num_keys, num_slots=num_slots, redundancy=n, seed=seed
+            )
+            step[f"success_n{n}"] = simulate(spec).success_rate
+        step["success_adaptive"] = step[f"success_n{n_adaptive}"]
+        per_step.append(step)
+
+    summary = {"load_factor": "MEAN", "adaptive_n": "-"}
+    for n in candidates:
+        summary[f"success_n{n}"] = float(
+            np.mean([s[f"success_n{n}"] for s in per_step])
+        )
+    summary["success_adaptive"] = float(
+        np.mean([s["success_adaptive"] for s in per_step])
+    )
+    return per_step + [summary]
+
+
+def fetch_add_rows(
+    num_flows: int = 200,
+    num_switches: int = 4,
+    cells_per_row: int = 1 << 14,
+    rows_in_sketch: int = 2,
+    seed: int = 0,
+) -> List[dict]:
+    """Fetch&Add flow counters aggregated across switches (section 7).
+
+    Several 'switches' independently emit FETCH_ADD frames for overlapping
+    flows; the collector-memory sketch must equal the network-wide truth
+    (within count-min overestimate).
+    """
+    rng = np.random.default_rng(seed)
+    counters = CounterStore(cells_per_row=cells_per_row, rows=rows_in_sketch)
+    truth = {}
+    for switch in range(num_switches):
+        for _ in range(num_flows):
+            flow = int(rng.integers(num_flows // 2))
+            key = ("flow", flow)
+            amount = int(rng.integers(1, 10))
+            for frame in counters.craft_add_frames(key, amount):
+                counters.nic.receive_frame(frame)
+            truth[key] = truth.get(key, 0) + amount
+
+    exact = sum(1 for k, v in truth.items() if counters.estimate(k) == v)
+    overestimates = sum(1 for k, v in truth.items() if counters.estimate(k) > v)
+    underestimates = sum(1 for k, v in truth.items() if counters.estimate(k) < v)
+    return [
+        {
+            "flows": len(truth),
+            "switches": num_switches,
+            "atomic_ops": counters.total_adds(),
+            "exact_counts": exact,
+            "overestimates": overestimates,
+            "underestimates": underestimates,  # must be 0: count-min bound
+        }
+    ]
+
+
+def update_heavy_rows(
+    *,
+    distinct_flows: int = 2_000,
+    reports_per_flow: int = 25,
+    num_slots: int = 1 << 14,
+    seed: int = 0,
+) -> List[dict]:
+    """Event telemetry re-reports the same flows; storage models diverge.
+
+    Flow-event systems emit a fresh report whenever a flow's state changes
+    (the paper's section 2 workload), so the report stream contains each
+    key many times.  DART overwrites in place -- memory is bounded by
+    *distinct* keys and queries see the latest state -- while log-
+    structured CPU collectors grow with *total* reports.  This experiment
+    feeds the identical stream to both.
+    """
+    from repro.baselines.cpu_collector import DpdkConfluoCollector, encode_report
+    from repro.core.config import DartConfig
+    from repro.collector.store import DartStore
+
+    rng = np.random.default_rng(seed)
+    config = DartConfig(
+        slots_per_collector=num_slots, num_collectors=1, value_bytes=8
+    )
+    store = DartStore(config)
+    log_collector = DpdkConfluoCollector()
+
+    versions = {}
+    total_reports = 0
+    for _ in range(reports_per_flow):
+        for flow in range(distinct_flows):
+            versions[flow] = versions.get(flow, 0) + 1
+            value = versions[flow].to_bytes(8, "big")
+            store.put(("flow", flow), value)
+            log_collector.ingest(encode_report(b"flow-%d" % flow, value))
+            total_reports += 1
+
+    sample = rng.choice(distinct_flows, size=min(500, distinct_flows), replace=False)
+    dart_latest = sum(
+        1
+        for flow in sample
+        if store.get_value(("flow", int(flow)))
+        == versions[int(flow)].to_bytes(8, "big")
+    )
+    log_bytes = sum(len(k) + len(v) for k, v in log_collector.log)
+    return [
+        {
+            "system": "DART",
+            "reports_ingested": total_reports,
+            "distinct_flows": distinct_flows,
+            "storage_bytes": store.memory_bytes,
+            "storage_grows_with": "distinct keys",
+            "latest_value_correct": dart_latest / len(sample),
+            "collector_cpu_cycles": 0,
+        },
+        {
+            "system": "DPDK + Confluo (log)",
+            "reports_ingested": total_reports,
+            "distinct_flows": distinct_flows,
+            "storage_bytes": log_bytes,
+            "storage_grows_with": "total reports",
+            "latest_value_correct": 1.0,  # logs never lose data...
+            "collector_cpu_cycles": log_collector.ledger.total,  # ...at this price
+        },
+    ]
+
+
+def placement_rows(
+    load: float = 0.8,
+    num_slots_total: int = 1 << 18,
+    num_collectors: int = 4,
+    seed: int = 0,
+) -> List[dict]:
+    """Single-collector vs spread placement of the N copies.
+
+    The paper keeps all copies of a key on one collector so queries run
+    locally.  Statistically both placements see the same per-slot collision
+    process (shown here); the difference is operational -- spread placement
+    would need N remote reads per query.
+    """
+    rows = []
+    for placement in ("single-collector", "spread"):
+        # Statistically both reduce to hashing into the global slot pool;
+        # we simulate the pool and annotate the query cost difference.
+        spec = SimulationSpec(
+            num_keys=int(load * num_slots_total),
+            num_slots=num_slots_total,
+            redundancy=2,
+            seed=seed,
+        )
+        result = simulate(spec)
+        rows.append(
+            {
+                "placement": placement,
+                "success_rate": result.success_rate,
+                "collectors_contacted_per_query": 1
+                if placement == "single-collector"
+                else 2,
+                "resilient_to_collector_loss": placement == "spread",
+            }
+        )
+    return rows

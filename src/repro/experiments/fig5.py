@@ -1,0 +1,109 @@
+"""Figure 5: probability of returning a wrong answer.
+
+The paper simulates 100 M keys at several storage sizes and checksum
+widths, showing that longer key checksums suppress return errors and that
+32-bit checksums make them unobservable ("our simulations with 32-bit
+key-checksums fail to reproduce return-error cases").
+
+We sweep checksum widths {8, 16, 32} across load factors and report the
+measured error rate next to the section-4 theoretical bounds evaluated at
+the oldest-key load (upper) -- the simulation averages over ages, so it
+must fall below that bound and above zero for narrow checksums.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.policies import ReturnPolicy
+from repro.core.simulator import SimulationSpec, simulate
+
+DEFAULT_CHECKSUM_BITS = (8, 16, 32)
+DEFAULT_LOADS = (0.5, 1.0, 2.0, 4.0)
+
+
+def figure5_rows(
+    checksum_bits: Sequence[int] = DEFAULT_CHECKSUM_BITS,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    *,
+    num_slots: int = 1 << 18,
+    redundancy: int = 2,
+    policy: ReturnPolicy = ReturnPolicy.PLURALITY,
+    seed: int = 0,
+) -> List[dict]:
+    """One row per (checksum width, load): measured error + theory bounds."""
+    rows = []
+    for bits in checksum_bits:
+        for alpha in loads:
+            spec = SimulationSpec(
+                num_keys=max(1, int(round(alpha * num_slots))),
+                num_slots=num_slots,
+                redundancy=redundancy,
+                checksum_bits=bits,
+                policy=policy,
+                seed=seed,
+            )
+            result = simulate(spec)
+            lower, upper = theory.return_error_bounds(alpha, redundancy, bits)
+            rows.append(
+                {
+                    "checksum_bits": bits,
+                    "load_factor": alpha,
+                    "keys": spec.num_keys,
+                    "error_rate_simulated": result.error_rate,
+                    "errors_observed": int(result.error.sum()),
+                    "theory_upper_bound_oldest": float(upper),
+                    "theory_lower_bound_oldest": float(lower),
+                }
+            )
+    return rows
+
+
+def checksum_scaling_rows(
+    loads: Sequence[float] = (2.0,),
+    checksum_bits: Sequence[int] = (4, 6, 8, 10, 12, 14, 16),
+    num_slots: int = 1 << 17,
+    seed: int = 0,
+) -> List[dict]:
+    """Error rate vs checksum width at fixed load: the ~2^-b scaling law.
+
+    The measurable-width extension of Figure 5; each doubling of b should
+    roughly halve... i.e. each extra bit halves the error rate.
+    """
+    rows = []
+    for alpha in loads:
+        for bits in checksum_bits:
+            spec = SimulationSpec(
+                num_keys=int(alpha * num_slots),
+                num_slots=num_slots,
+                checksum_bits=bits,
+                seed=seed,
+            )
+            result = simulate(spec)
+            rows.append(
+                {
+                    "load_factor": alpha,
+                    "checksum_bits": bits,
+                    "error_rate": result.error_rate,
+                    "expected_scaling": float(2.0 ** -bits),
+                }
+            )
+    return rows
+
+
+def verify_2exp_scaling(rows: List[dict]) -> float:
+    """Fit error_rate ~ c * 2^-b; returns the log2 slope (expect ~ -1)."""
+    measured = [
+        (row["checksum_bits"], row["error_rate"])
+        for row in rows
+        if row["error_rate"] > 0
+    ]
+    if len(measured) < 3:
+        raise ValueError("not enough non-zero error measurements to fit")
+    bits = np.array([m[0] for m in measured], dtype=float)
+    log_err = np.log2([m[1] for m in measured])
+    slope = float(np.polyfit(bits, log_err, 1)[0])
+    return slope

@@ -1,0 +1,54 @@
+"""Plain-text table formatting for experiment output.
+
+Every experiment returns ``List[dict]`` rows; :func:`format_table` renders
+them the way the benchmark harness prints them, so EXPERIMENTS.md, bench
+output and interactive use all show identical tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if 0 < abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping], columns: Iterable[str] = None) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Column order follows ``columns`` if given, else the first row's key
+    order.  Returns a string ending without a trailing newline.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    else:
+        columns = list(columns)
+
+    cells: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells.append([_render(row.get(column, "")) for column in columns])
+
+    widths = [max(len(line[i]) for line in cells) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def print_experiment(title: str, rows: Sequence[Mapping], columns=None) -> None:
+    """Print one experiment's table under a banner."""
+    banner = "=" * max(len(title), 8)
+    print(f"\n{banner}\n{title}\n{banner}")
+    print(format_table(rows, columns))

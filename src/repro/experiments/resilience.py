@@ -1,0 +1,113 @@
+"""Copy placement and collector failure (paper section 3.1).
+
+"Distributing the N copies of per-key telemetry data across N physical
+collectors could improve the system resiliency, at the cost of potentially
+reduced querying speed.  In DART's current design we ensure that data
+duplicates for any one key are held at a single collector."
+
+This experiment quantifies the trade the paper states qualitatively: under
+collector failures, what fraction of keys becomes unreadable with
+
+- **single placement** (paper default): all N copies on one collector --
+  a failed collector takes out every key it owned;
+- **spread placement** (the alternative): copy n of a key goes to an
+  independently hashed collector -- a key dies only if *all* its copies'
+  collectors failed.
+
+The query-cost side of the trade is structural: single placement answers
+from one collector; spread placement contacts up to N.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.addressing import COLLECTOR_FUNCTION_INDEX
+from repro.hashing.hash_family import HashFamily
+
+
+def failure_unreadable_fraction(
+    *,
+    num_keys: int,
+    num_collectors: int,
+    failed: Sequence[int],
+    redundancy: int = 2,
+    spread: bool = False,
+    seed: int = 0,
+) -> float:
+    """Fraction of keys with no surviving copy after ``failed`` collectors die.
+
+    Ignores slot collisions (orthogonal to placement); a key is unreadable
+    exactly when every collector holding one of its copies has failed.
+    """
+    if num_keys < 1:
+        raise ValueError("num_keys must be >= 1")
+    if num_collectors < 1:
+        raise ValueError("num_collectors must be >= 1")
+    if not set(failed) <= set(range(num_collectors)):
+        raise ValueError("failed collector IDs out of range")
+    family = HashFamily(seed=seed)
+    keys = np.arange(num_keys, dtype=np.uint64)
+    failed_set = np.zeros(num_collectors, dtype=bool)
+    failed_set[list(failed)] = True
+
+    if not spread:
+        collectors = family.hash_array_mod(
+            keys, COLLECTOR_FUNCTION_INDEX, num_collectors
+        ).astype(np.int64)
+        return float(failed_set[collectors].mean())
+
+    dead = np.ones(num_keys, dtype=bool)
+    for copy in range(redundancy):
+        collectors = family.hash_array_mod(
+            keys, COLLECTOR_FUNCTION_INDEX + 1 + copy, num_collectors
+        ).astype(np.int64)
+        dead &= failed_set[collectors]
+    return float(dead.mean())
+
+
+def resilience_rows(
+    *,
+    num_collectors: int = 16,
+    failures: Sequence[int] = (1, 2, 4, 8),
+    num_keys: int = 200_000,
+    redundancy: int = 2,
+    seed: int = 0,
+) -> List[dict]:
+    """Unreadable-key fraction vs number of failed collectors, both placements."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for failure_count in failures:
+        failed = rng.choice(num_collectors, size=failure_count, replace=False)
+        single = failure_unreadable_fraction(
+            num_keys=num_keys,
+            num_collectors=num_collectors,
+            failed=failed.tolist(),
+            redundancy=redundancy,
+            spread=False,
+            seed=seed,
+        )
+        spread = failure_unreadable_fraction(
+            num_keys=num_keys,
+            num_collectors=num_collectors,
+            failed=failed.tolist(),
+            redundancy=redundancy,
+            spread=True,
+            seed=seed,
+        )
+        fail_fraction = failure_count / num_collectors
+        rows.append(
+            {
+                "collectors": num_collectors,
+                "failed": failure_count,
+                "unreadable_single": single,
+                "unreadable_spread": spread,
+                "expected_single": fail_fraction,
+                "expected_spread": fail_fraction**redundancy,
+                "queries_contact_single": 1,
+                "queries_contact_spread": redundancy,
+            }
+        )
+    return rows

@@ -1,0 +1,52 @@
+"""Hashing substrate for the DART reproduction.
+
+DART's correctness hinges on *global* hash functions: every switch and every
+query client must map a telemetry key to exactly the same collector and the
+same N slot addresses, with no coordination.  This package provides the
+building blocks:
+
+- :mod:`repro.hashing.crc` -- table-driven CRC variants.  Tofino exposes CRC
+  polynomials as its hashing extern, and RoCEv2 frames carry a CRC-32
+  invariant checksum (iCRC), so CRCs appear twice in the system.
+- :mod:`repro.hashing.hash_family` -- an indexed family of independent 64-bit
+  hash functions built from strong integer mixers, used for the
+  (key, n) -> slot-address mapping and the key -> collector mapping.
+- :mod:`repro.hashing.checksum` -- the b-bit key checksum stored alongside
+  each value so that overwritten slots can be detected at query time.
+"""
+
+from repro.hashing.crc import (
+    CRC8,
+    CRC16_CCITT,
+    CRC32,
+    CRC32C,
+    CrcAlgorithm,
+    crc8,
+    crc16,
+    crc32,
+    crc32c,
+)
+from repro.hashing.hash_family import (
+    HashFamily,
+    mix64,
+    splitmix64,
+    stable_key_bytes,
+)
+from repro.hashing.checksum import KeyChecksum
+
+__all__ = [
+    "CRC8",
+    "CRC16_CCITT",
+    "CRC32",
+    "CRC32C",
+    "CrcAlgorithm",
+    "crc8",
+    "crc16",
+    "crc32",
+    "crc32c",
+    "HashFamily",
+    "KeyChecksum",
+    "mix64",
+    "splitmix64",
+    "stable_key_bytes",
+]

@@ -1,0 +1,17 @@
+"""Collector memory substrate.
+
+A DART collector registers a large contiguous memory region with its RDMA
+NIC; switches write telemetry slots into it at hashed offsets and the query
+engine reads them back.  This package models that region byte-exactly:
+
+- :mod:`repro.mem.region` -- a registered memory region with bounds-checked
+  DMA reads/writes and remote-key protection, plus the atomic operations the
+  RDMA verbs layer needs (64-bit fetch-add and compare-and-swap).
+- :mod:`repro.mem.slots` -- the slot layout codec: each slot stores a b-bit
+  key checksum followed by the telemetry value.
+"""
+
+from repro.mem.region import MemoryRegion, RegionAccessError
+from repro.mem.slots import SlotCodec, SlotLayout
+
+__all__ = ["MemoryRegion", "RegionAccessError", "SlotCodec", "SlotLayout"]

@@ -1,0 +1,169 @@
+"""Registered memory regions: the landing zone for direct telemetry access.
+
+An RDMA memory region (MR) is a pinned, registered range of host memory that
+the NIC may access without CPU involvement.  One-sided verbs carry the
+region's *remote key* (rkey) and a virtual address; the NIC validates both
+and performs the DMA.  This module models that contract: out-of-bounds or
+wrong-rkey accesses raise :class:`RegionAccessError`, which the NIC layer
+translates into silently dropping the offending packet (the collector CPU
+never sees it -- exactly the zero-CPU property DART relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RegionAccessError(Exception):
+    """A remote access fell outside the region or used a bad rkey."""
+
+
+class MemoryRegion:
+    """A registered memory region backed by a ``bytearray``.
+
+    Parameters
+    ----------
+    size:
+        Region length in bytes.
+    base_address:
+        Virtual address of the first byte, as advertised to remote peers.
+        RDMA requests address the region by virtual address, not offset.
+    rkey:
+        Remote key that one-sided operations must present.
+    """
+
+    def __init__(self, size: int, base_address: int = 0x10000, rkey: int = 0x1) -> None:
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        if base_address < 0:
+            raise ValueError("base_address must be non-negative")
+        self.size = size
+        self.base_address = base_address
+        self.rkey = rkey
+        self._buffer = bytearray(size)
+        self.write_count = 0
+        self.atomic_count = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryRegion(size={self.size}, "
+            f"base_address={self.base_address:#x}, rkey={self.rkey:#x})"
+        )
+
+    # ------------------------------------------------------------------
+    # Address translation and validation
+    # ------------------------------------------------------------------
+
+    def contains(self, address: int, length: int) -> bool:
+        """Whether ``[address, address + length)`` lies inside the region."""
+        return (
+            length >= 0
+            and address >= self.base_address
+            and address + length <= self.base_address + self.size
+        )
+
+    def _offset(self, address: int, length: int, rkey: Optional[int]) -> int:
+        if rkey is not None and rkey != self.rkey:
+            raise RegionAccessError(
+                f"rkey {rkey:#x} does not match region rkey {self.rkey:#x}"
+            )
+        if not self.contains(address, length):
+            raise RegionAccessError(
+                f"access [{address:#x}, +{length}) outside region "
+                f"[{self.base_address:#x}, +{self.size})"
+            )
+        return address - self.base_address
+
+    # ------------------------------------------------------------------
+    # DMA operations (performed by the NIC model)
+    # ------------------------------------------------------------------
+
+    def dma_write(self, address: int, payload: bytes, rkey: Optional[int] = None) -> None:
+        """Write ``payload`` at virtual ``address`` (RDMA WRITE semantics)."""
+        offset = self._offset(address, len(payload), rkey)
+        self._buffer[offset : offset + len(payload)] = payload
+        self.write_count += 1
+
+    def dma_read(self, address: int, length: int, rkey: Optional[int] = None) -> bytes:
+        """Read ``length`` bytes at virtual ``address`` (RDMA READ semantics)."""
+        offset = self._offset(address, length, rkey)
+        return bytes(self._buffer[offset : offset + length])
+
+    def dma_fetch_add(
+        self, address: int, addend: int, rkey: Optional[int] = None
+    ) -> int:
+        """64-bit atomic fetch-and-add; returns the *original* value.
+
+        RDMA atomics operate on 8-byte, naturally aligned words in network
+        byte order, wrapping modulo 2**64.
+        """
+        offset = self._offset(address, 8, rkey)
+        if address % 8 != 0:
+            raise RegionAccessError(f"atomic address {address:#x} not 8-byte aligned")
+        original = int.from_bytes(self._buffer[offset : offset + 8], "big")
+        updated = (original + addend) & 0xFFFFFFFFFFFFFFFF
+        self._buffer[offset : offset + 8] = updated.to_bytes(8, "big")
+        self.atomic_count += 1
+        return original
+
+    def dma_compare_swap(
+        self,
+        address: int,
+        compare: int,
+        swap: int,
+        rkey: Optional[int] = None,
+    ) -> int:
+        """64-bit atomic compare-and-swap; returns the *original* value.
+
+        The swap value is stored only if the original equals ``compare``.
+        """
+        offset = self._offset(address, 8, rkey)
+        if address % 8 != 0:
+            raise RegionAccessError(f"atomic address {address:#x} not 8-byte aligned")
+        original = int.from_bytes(self._buffer[offset : offset + 8], "big")
+        if original == compare:
+            self._buffer[offset : offset + 8] = (
+                swap & 0xFFFFFFFFFFFFFFFF
+            ).to_bytes(8, "big")
+        self.atomic_count += 1
+        return original
+
+    # ------------------------------------------------------------------
+    # Local (collector-side) access for queries and snapshots
+    # ------------------------------------------------------------------
+
+    def read_offset(self, offset: int, length: int) -> bytes:
+        """Local read by offset; used by the collector's own query engine."""
+        if offset < 0 or offset + length > self.size:
+            raise RegionAccessError(
+                f"local read [{offset}, +{length}) outside region of size {self.size}"
+            )
+        return bytes(self._buffer[offset : offset + length])
+
+    def write_offset(self, offset: int, payload: bytes) -> None:
+        """Local write by offset; used by tests and epoch restores."""
+        if offset < 0 or offset + len(payload) > self.size:
+            raise RegionAccessError(
+                f"local write [{offset}, +{len(payload)}) outside region "
+                f"of size {self.size}"
+            )
+        self._buffer[offset : offset + len(payload)] = payload
+
+    def snapshot(self) -> bytes:
+        """An immutable copy of the whole region (epoch persistence, tests)."""
+        return bytes(self._buffer)
+
+    def restore(self, image: bytes) -> None:
+        """Overwrite the region with a previous :meth:`snapshot`."""
+        if len(image) != self.size:
+            raise ValueError(
+                f"snapshot length {len(image)} does not match region size {self.size}"
+            )
+        self._buffer[:] = image
+
+    def clear(self) -> None:
+        """Zero the region (a fresh epoch)."""
+        self._buffer[:] = bytes(self.size)

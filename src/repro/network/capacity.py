@@ -1,0 +1,174 @@
+"""Collection-capacity model: how much ingest one collector sustains.
+
+Section 2 of the paper argues CPU collectors cannot keep up; section 2's
+closing note gives the other side: "current RDMA-capable network cards are
+capable of processing more than 200 million messages per second, which is
+significantly faster than CPU-based telemetry collectors".  This module
+makes that comparison quantitative and runnable:
+
+- analytic capacity per collector for each stack (RNIC message rate vs
+  cycles-per-report on a core budget);
+- a slotted-time queue simulation that offers a report load to a collector
+  with finite per-second capacity and a bounded ingress queue, measuring
+  delivered fraction and queue occupancy -- the behaviour an operator sees
+  when a telemetry storm hits an undersized collector tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.baselines.cost_model import (
+    CostModel,
+    DPDK_CONFLUO_MODEL,
+    SOCKET_KAFKA_MODEL,
+)
+
+#: ConnectX-6-class RNIC message rate (paper section 2, citing [48]).
+RNIC_MESSAGES_PER_SEC = 200_000_000
+
+
+def collector_capacity_rows(
+    cores_per_collector: int = 16, cpu_ghz: float = 3.0
+) -> List[dict]:
+    """Reports/second one collector host sustains, per stack."""
+    if cores_per_collector < 1:
+        raise ValueError("cores_per_collector must be >= 1")
+    if cpu_ghz <= 0:
+        raise ValueError("cpu_ghz must be positive")
+    rows = []
+    for model in (SOCKET_KAFKA_MODEL, DPDK_CONFLUO_MODEL):
+        per_core = cpu_ghz * 1e9 / model.total_cycles_per_report
+        rows.append(
+            {
+                "stack": model.name,
+                "reports_per_sec_per_core": per_core,
+                "reports_per_sec_per_host": per_core * cores_per_collector,
+                "hosts_for_10k_switches_1mps": _hosts_needed(
+                    per_core * cores_per_collector, 10_000 * 1_000_000
+                ),
+            }
+        )
+    rows.append(
+        {
+            "stack": "DART (RNIC DMA)",
+            "reports_per_sec_per_core": 0.0,  # no cores consumed
+            "reports_per_sec_per_host": float(RNIC_MESSAGES_PER_SEC),
+            "hosts_for_10k_switches_1mps": _hosts_needed(
+                RNIC_MESSAGES_PER_SEC, 10_000 * 1_000_000
+            ),
+        }
+    )
+    return rows
+
+
+def _hosts_needed(per_host: float, offered: float) -> int:
+    if per_host <= 0:
+        raise ValueError("per-host capacity must be positive")
+    return int(-(-offered // per_host))
+
+
+@dataclass
+class QueueSimResult:
+    """Outcome of one slotted-time ingestion simulation."""
+
+    offered: int
+    delivered: int
+    dropped: int
+    peak_queue: int
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Delivered / offered reports."""
+        return self.delivered / self.offered if self.offered else float("nan")
+
+
+def simulate_ingestion(
+    offered_per_slot: Sequence[int],
+    capacity_per_slot: int,
+    queue_limit: int,
+) -> QueueSimResult:
+    """Slotted-time queue: arrivals, bounded queue, fixed service rate.
+
+    Each slot, ``offered_per_slot[t]`` reports arrive; up to
+    ``capacity_per_slot`` are served; the excess queues up to
+    ``queue_limit`` (NIC/DMA ring or socket buffer) and overflow is
+    dropped -- the collection-loss mechanism under storms.
+    """
+    if capacity_per_slot < 0:
+        raise ValueError("capacity_per_slot must be non-negative")
+    if queue_limit < 0:
+        raise ValueError("queue_limit must be non-negative")
+    queue = 0
+    delivered = dropped = 0
+    peak_queue = 0
+    offered_total = 0
+    for arrivals in offered_per_slot:
+        if arrivals < 0:
+            raise ValueError("arrivals must be non-negative")
+        offered_total += arrivals
+        queue += arrivals
+        if queue > queue_limit:
+            dropped += queue - queue_limit
+            queue = queue_limit
+        served = min(queue, capacity_per_slot)
+        delivered += served
+        queue -= served
+        peak_queue = max(peak_queue, queue)
+    # Drain whatever remains at the end.
+    delivered += queue
+    return QueueSimResult(
+        offered=offered_total,
+        delivered=delivered,
+        dropped=dropped,
+        peak_queue=peak_queue,
+    )
+
+
+def storm_comparison_rows(
+    switches: int = 800,
+    reports_per_switch_per_slot: int = 100,
+    storm_multiplier: int = 2,
+    slots: int = 100,
+    storm_slots: range = range(40, 60),
+    cores_per_collector: int = 16,
+    queue_limit: int = 2_000_000,
+) -> List[dict]:
+    """A telemetry storm against one collector of each stack.
+
+    Baseline load with a ``storm_multiplier`` burst in the middle; the
+    slot length is calibrated to 1 ms (so per-slot capacity is the
+    per-second rate / 1000).  Defaults put the baseline (80 M reports/s)
+    inside one RNIC's 200 M msg/s but far beyond any CPU stack -- the
+    regime the paper's section 2 describes.
+    """
+    base = switches * reports_per_switch_per_slot
+    offered = [
+        base * (storm_multiplier if t in storm_slots else 1)
+        for t in range(slots)
+    ]
+    capacities = {
+        "sockets + Kafka": _per_slot(SOCKET_KAFKA_MODEL, cores_per_collector),
+        "DPDK + Confluo": _per_slot(DPDK_CONFLUO_MODEL, cores_per_collector),
+        "DART (RNIC DMA)": RNIC_MESSAGES_PER_SEC // 1000,
+    }
+    rows = []
+    for stack, capacity in capacities.items():
+        result = simulate_ingestion(offered, capacity, queue_limit)
+        rows.append(
+            {
+                "stack": stack,
+                "capacity_per_ms": capacity,
+                "offered": result.offered,
+                "delivered_fraction": result.delivered_fraction,
+                "dropped": result.dropped,
+                "peak_queue": result.peak_queue,
+            }
+        )
+    return rows
+
+
+def _per_slot(model: CostModel, cores: int, cpu_ghz: float = 3.0) -> int:
+    per_second = cores * cpu_ghz * 1e9 / model.total_cycles_per_report
+    return int(per_second // 1000)

@@ -1,0 +1,137 @@
+"""Fully packet-level INT path tracing: data packets carry the telemetry.
+
+The highest-fidelity pipeline in the reproduction.  A source host emits a
+real UDP datagram whose payload is an INT shim + metadata stack
+(:mod:`repro.telemetry.int_headers`); every switch on the ECMP path pushes
+its 32-bit switch ID onto the stack *inside the packet bytes*; the
+last-hop switch plays INT sink -- it strips the stack, restores the user
+payload for delivery, and hands <5-tuple> -> <path> to its
+:class:`~repro.switch.dart_switch.DartSwitch` logic, which crafts the
+RoCEv2 report frames the collector NICs execute.
+
+Every arrow in the paper's Figure 2 is therefore exercised with real
+bytes: data packet -> INT accumulation -> mirror -> RDMA write -> query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.client import DartQueryClient
+from repro.core.config import DartConfig
+from repro.collector.collector import CollectorCluster
+from repro.network.flows import Flow
+from repro.network.simulation import encode_path
+from repro.network.topology import FatTreeTopology
+from repro.switch.control_plane import SwitchControlPlane
+from repro.switch.dart_switch import DartSwitch
+from repro.telemetry.int_headers import IntStack, new_probe
+
+
+@dataclass
+class DataPacket:
+    """A simplified data packet: 5-tuple addressing + raw L4 payload."""
+
+    flow: Flow
+    payload: bytes
+
+    @property
+    def five_tuple(self):
+        """The flow 5-tuple this packet belongs to."""
+        return self.flow.five_tuple
+
+
+@dataclass
+class DeliveryResult:
+    """What came out the far end of one packet's journey."""
+
+    delivered_payload: bytes
+    recorded_path: List[int]
+    report_frames: int
+
+
+class IntTransitSwitch:
+    """Transit behaviour: push our switch ID into the packet's INT stack."""
+
+    def __init__(self, switch_id: int) -> None:
+        self.switch_id = switch_id
+        self.packets_seen = 0
+        self.hops_recorded = 0
+
+    def process(self, payload: bytes) -> bytes:
+        """Rewrite the INT payload in place (bytes in, bytes out)."""
+        self.packets_seen += 1
+        stack = IntStack.unpack(payload)
+        if stack.push_hop(self.switch_id):
+            self.hops_recorded += 1
+        return stack.pack()
+
+
+class IntSinkSwitch(IntTransitSwitch):
+    """Sink behaviour: record our hop, strip INT, report through DART."""
+
+    def __init__(self, switch_id: int, dart: DartSwitch) -> None:
+        super().__init__(switch_id)
+        self.dart = dart
+        self.reports_emitted = 0
+
+    def finish(self, flow: Flow, payload: bytes) -> Tuple[bytes, List[int], List]:
+        """Process the final hop: returns (user payload, path, frames)."""
+        rewritten = self.process(payload)
+        stack = IntStack.unpack(rewritten)
+        path, user_payload = stack.strip()
+        frames = self.dart.report(flow.five_tuple, encode_path(path))
+        self.reports_emitted += 1
+        return user_payload, path, frames
+
+
+class PacketLevelIntNetwork:
+    """The full fabric: hosts, INT switches, DART switches, collectors."""
+
+    def __init__(
+        self,
+        topology: FatTreeTopology,
+        config: DartConfig,
+        max_int_hops: int = 8,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.max_int_hops = max_int_hops
+        self.cluster = CollectorCluster(config)
+        self.client = DartQueryClient(config, reader=self.cluster.read_slot)
+        plane = SwitchControlPlane(config)
+
+        self.transits: Dict[int, IntTransitSwitch] = {}
+        self.sinks: Dict[int, IntSinkSwitch] = {}
+        for node in topology.switches:
+            dart = DartSwitch(config, switch_id=node.switch_id)
+            plane.connect_switch(dart, self.cluster)
+            self.transits[node.switch_id] = IntTransitSwitch(node.switch_id)
+            self.sinks[node.switch_id] = IntSinkSwitch(node.switch_id, dart)
+        self.packets_sent = 0
+
+    def send(self, flow: Flow, user_payload: bytes = b"app-data") -> DeliveryResult:
+        """Send one INT-enabled datagram from src to dst host."""
+        self.packets_sent += 1
+        path = self.topology.path(flow.src_host, flow.dst_host, flow.five_tuple)
+        payload = new_probe(user_payload, max_hops=self.max_int_hops).pack()
+
+        # Transit hops rewrite the packet bytes; the last hop is the sink.
+        for switch_id in path[:-1]:
+            payload = self.transits[switch_id].process(payload)
+        delivered, recorded, frames = self.sinks[path[-1]].finish(flow, payload)
+
+        executed = 0
+        for collector_id, frame in frames:
+            if self.cluster[collector_id].receive_frame(frame):
+                executed += 1
+        return DeliveryResult(
+            delivered_payload=delivered,
+            recorded_path=recorded,
+            report_frames=executed,
+        )
+
+    def query_path(self, flow: Flow):
+        """Operator query for a flow's recorded path."""
+        return self.client.query(flow.five_tuple)

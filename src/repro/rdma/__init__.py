@@ -1,0 +1,55 @@
+"""RDMA-over-Converged-Ethernet (RoCEv2) substrate.
+
+The paper's collectors are ordinary servers whose RDMA NICs execute
+one-sided operations crafted *by switches*.  No RDMA hardware is available
+in this environment, so this package is a byte-accurate software model:
+
+- :mod:`repro.rdma.packets` -- wire-format codecs for Ethernet, IPv4, UDP,
+  BTH, RETH and AtomicETH headers plus the RoCEv2 invariant CRC (iCRC).
+- :mod:`repro.rdma.qp` -- queue-pair state with 24-bit packet sequence
+  numbers (PSNs), mirroring the per-collector PSN registers the Tofino
+  prototype keeps in SRAM.
+- :mod:`repro.rdma.nic` -- an RNIC model that parses incoming frames,
+  validates iCRC / rkey / QP / PSN, and executes RDMA WRITE, FETCH_ADD and
+  CMP_SWAP against a registered :class:`~repro.mem.region.MemoryRegion`,
+  silently dropping anything invalid (one-sided semantics: the host CPU is
+  never involved).
+"""
+
+from repro.rdma.packets import (
+    ROCEV2_UDP_PORT,
+    AtomicEth,
+    Bth,
+    EthernetHeader,
+    Ipv4Header,
+    Opcode,
+    PacketDecodeError,
+    Reth,
+    RoceV2Packet,
+    UdpHeader,
+    compute_icrc,
+)
+from repro.rdma.qp import PSN_MODULUS, QueuePair, QueuePairState
+from repro.rdma.nic import NicCounters, RdmaNic
+from repro.rdma.requester import ConnectionState, ReliableRequester
+
+__all__ = [
+    "ROCEV2_UDP_PORT",
+    "AtomicEth",
+    "Bth",
+    "EthernetHeader",
+    "Ipv4Header",
+    "NicCounters",
+    "Opcode",
+    "PacketDecodeError",
+    "PSN_MODULUS",
+    "QueuePair",
+    "QueuePairState",
+    "RdmaNic",
+    "ReliableRequester",
+    "ConnectionState",
+    "Reth",
+    "RoceV2Packet",
+    "UdpHeader",
+    "compute_icrc",
+]

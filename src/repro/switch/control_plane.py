@@ -1,0 +1,108 @@
+"""Switch control plane: collector bring-up and table provisioning.
+
+The paper's prototype pairs the P4 program with ~150 lines of Python that
+load the global collector lookup table and initialise per-collector state.
+This module is that script, generalised to provision whole fleets: it takes
+the endpoint table a :class:`~repro.collector.collector.CollectorCluster`
+exposes and installs it into any number of switches, seeding each switch's
+PSN registers from the collectors' advertised expected PSNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, Mapping
+
+from repro.core.config import DartConfig
+from repro.collector.collector import CollectorCluster, CollectorEndpoint
+from repro.switch.dart_switch import DartSwitch
+
+
+class SwitchControlPlane:
+    """Provisions DART switches with collector endpoint state."""
+
+    def __init__(self, config: DartConfig) -> None:
+        self.config = config
+        self.switches_provisioned = 0
+        self.entries_installed = 0
+
+    def provision(
+        self,
+        switch: DartSwitch,
+        endpoints: Mapping[int, CollectorEndpoint],
+        initial_psns: Mapping[int, int] | None = None,
+    ) -> int:
+        """Install every collector endpoint into one switch.
+
+        Returns the number of entries installed.  Raises if the endpoint
+        table disagrees with the config's fleet size -- a misprovisioned
+        switch would silently blackhole reports for unmapped collectors,
+        which is the kind of failure better caught at bring-up.
+        """
+        if switch.config != self.config:
+            raise ValueError(
+                "switch was built for a different DartConfig; addressing "
+                "would disagree with the rest of the deployment"
+            )
+        missing = set(range(self.config.num_collectors)) - set(endpoints)
+        if missing:
+            raise ValueError(
+                f"endpoint table missing collector IDs {sorted(missing)}"
+            )
+        installed = 0
+        for collector_id, endpoint in sorted(endpoints.items()):
+            psn = 0
+            if initial_psns is not None:
+                psn = initial_psns.get(collector_id, 0)
+            switch.install_collector(
+                collector_id=endpoint.collector_id,
+                mac=endpoint.mac,
+                ip=endpoint.ip,
+                qp_number=endpoint.qp_number,
+                rkey=endpoint.rkey,
+                base_address=endpoint.base_address,
+                initial_psn=psn,
+            )
+            installed += 1
+        self.switches_provisioned += 1
+        self.entries_installed += installed
+        return installed
+
+    def connect_switch(self, switch: DartSwitch, cluster: CollectorCluster) -> int:
+        """Full bring-up for one switch: per-switch QPs + table install.
+
+        Each switch-collector pair gets a dedicated responder QP (RoCEv2
+        sequences PSNs per QP), and the switch's lookup-table entries carry
+        that QP number; PSN registers start from the QPs' expected PSNs.
+        This is what a fleet deployment uses; :meth:`provision` with shared
+        default QPs only suits single-reporter setups.
+        """
+        endpoints: Dict[int, CollectorEndpoint] = {}
+        initial_psns: Dict[int, int] = {}
+        for collector in cluster:
+            qp = collector.create_reporter_qp(switch.switch_id)
+            endpoints[collector.collector_id] = replace(
+                collector.endpoint, qp_number=qp.qp_number
+            )
+            initial_psns[collector.collector_id] = qp.expected_psn
+        return self.provision(switch, endpoints, initial_psns=initial_psns)
+
+    def connect_fleet(
+        self, switches: Iterable[DartSwitch], cluster: CollectorCluster
+    ) -> Dict[int, int]:
+        """Bring up many switches; returns {switch_id: entries installed}."""
+        return {
+            switch.switch_id: self.connect_switch(switch, cluster)
+            for switch in switches
+        }
+
+    def provision_fleet(
+        self,
+        switches: Iterable[DartSwitch],
+        endpoints: Mapping[int, CollectorEndpoint],
+    ) -> Dict[int, int]:
+        """Provision many switches; returns {switch_id: entries installed}."""
+        return {
+            switch.switch_id: self.provision(switch, endpoints)
+            for switch in switches
+        }

@@ -1,0 +1,81 @@
+"""A small P4-like intermediate representation and interpreter.
+
+The DART prototype is "around 1K lines of P4_16 compiled through P4 Studio
+for the Tofino ASIC" (paper section 6).  The direct model in
+:mod:`repro.switch.dart_switch` reproduces *what* that program computes;
+this package reproduces *how*: a P4-style program -- parser state machine,
+match-action controls, externs, deparser with checksum fixups -- expressed
+in an interpretable IR, plus the DART egress program written in it
+(:mod:`repro.switch.p4.dart_program`).
+
+The test-suite proves the IR program emits frames byte-identical to the
+direct model, which is the software equivalent of validating the P4 source
+against its specification.
+
+IR surface (deliberately close to P4_16 concepts):
+
+- :mod:`repro.switch.p4.types` -- header types, header instances, the PHV;
+- :mod:`repro.switch.p4.expr` -- expressions over header fields, metadata
+  and action parameters, plus hash/checksum externs;
+- :mod:`repro.switch.p4.actions` -- action primitives (set-field,
+  register read-modify-write, payload construction);
+- :mod:`repro.switch.p4.parser` -- parser states with fixed and
+  length-prefixed (varbit) extraction;
+- :mod:`repro.switch.p4.control` -- match-action table application and
+  conditionals;
+- :mod:`repro.switch.p4.deparser` -- header emission with post-emission
+  fixups (lengths, IPv4 checksum, RoCEv2 iCRC);
+- :mod:`repro.switch.p4.interpreter` -- binds the pieces into a runnable
+  :class:`P4Program`.
+"""
+
+from repro.switch.p4.types import Header, HeaderType, Phv
+from repro.switch.p4.expr import (
+    BinOp,
+    ChecksumOf,
+    Const,
+    Field,
+    HashOf,
+    Meta,
+    Param,
+)
+from repro.switch.p4.actions import (
+    Action,
+    BuildPayload,
+    RegisterReadIncrement,
+    SetField,
+    SetMeta,
+    SetValid,
+)
+from repro.switch.p4.parser import ExtractFixed, ExtractVar, P4Parser, ParserState
+from repro.switch.p4.control import Apply, Control, IfValid
+from repro.switch.p4.deparser import Deparser
+from repro.switch.p4.interpreter import P4Program
+
+__all__ = [
+    "Action",
+    "Apply",
+    "BinOp",
+    "BuildPayload",
+    "ChecksumOf",
+    "Const",
+    "Control",
+    "Deparser",
+    "ExtractFixed",
+    "ExtractVar",
+    "Field",
+    "HashOf",
+    "Header",
+    "HeaderType",
+    "IfValid",
+    "Meta",
+    "P4Parser",
+    "P4Program",
+    "Param",
+    "ParserState",
+    "Phv",
+    "RegisterReadIncrement",
+    "SetField",
+    "SetMeta",
+    "SetValid",
+]

@@ -1,0 +1,147 @@
+"""Action primitives: the statements a matched table entry executes.
+
+P4 actions are straight-line sequences of primitive operations.  The set
+here covers what the DART egress program needs: header/metadata writes,
+header validation, register read-modify-write (the PSN counters) and
+payload construction (the checksum-prefixed telemetry slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.switch.p4.expr import Expr, ExternBindings
+from repro.switch.p4.types import Phv
+
+
+class Primitive:
+    """Base class of action statements."""
+
+    def execute(self, phv: Phv, externs: ExternBindings, params: Dict[str, Any]) -> None:
+        """Apply this statement's effect to the PHV."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SetField(Primitive):
+    """``hdr.<header>.<field> = <expr>``"""
+
+    header: str
+    field: str
+    value: Expr
+
+    def execute(self, phv, externs, params) -> None:
+        """Apply this statement's effect to the PHV."""
+        phv.header(self.header).set(
+            self.field, self.value.evaluate(phv, externs, params)
+        )
+
+
+@dataclass(frozen=True)
+class SetMeta(Primitive):
+    """``meta.<name> = <expr>``"""
+
+    name: str
+    value: Expr
+
+    def execute(self, phv, externs, params) -> None:
+        """Apply this statement's effect to the PHV."""
+        phv.set_meta(self.name, self.value.evaluate(phv, externs, params))
+
+
+@dataclass(frozen=True)
+class SetValid(Primitive):
+    """``hdr.<header>.setValid()`` / ``setInvalid()``"""
+
+    header: str
+    valid: bool = True
+
+    def execute(self, phv, externs, params) -> None:
+        """Apply this statement's effect to the PHV."""
+        phv.header(self.header).valid = self.valid
+
+
+@dataclass(frozen=True)
+class RegisterReadIncrement(Primitive):
+    """Atomic register read-then-increment into metadata.
+
+    ``meta.<destination> = reg[<index>]; reg[<index>] += 1`` -- exactly the
+    stateful ALU pattern the prototype uses for per-collector PSNs.
+    """
+
+    register: str
+    index: Expr
+    destination: str
+
+    def execute(self, phv, externs, params) -> None:
+        """Apply this statement's effect to the PHV."""
+        array = externs.register(self.register)
+        index = self.index.evaluate(phv, externs, params)
+        phv.set_meta(self.destination, array.read_and_increment(index))
+
+
+@dataclass(frozen=True)
+class BuildPayload(Primitive):
+    """Assemble the packet payload from integer parts and a blob.
+
+    Each part is ``(expr, byte_width)``; parts are concatenated big-endian
+    and the named blob (if any) is appended, then zero-padded to
+    ``pad_to`` bytes.  DART uses this to build the slot payload:
+    checksum bytes followed by the telemetry value.
+    """
+
+    parts: Tuple[Tuple[Expr, int], ...]
+    blob: str = ""
+    pad_to: int = 0
+
+    def execute(self, phv, externs, params) -> None:
+        """Apply this statement's effect to the PHV."""
+        pieces: List[bytes] = []
+        for expr, width in self.parts:
+            value = expr.evaluate(phv, externs, params)
+            pieces.append(value.to_bytes(width, "big"))
+        if self.blob:
+            blob = phv.blobs.get(self.blob)
+            if blob is None:
+                raise KeyError(f"blob {self.blob!r} not extracted")
+            pieces.append(blob)
+        payload = b"".join(pieces)
+        if self.pad_to:
+            if len(payload) > self.pad_to:
+                raise ValueError(
+                    f"payload of {len(payload)} bytes exceeds pad_to="
+                    f"{self.pad_to}"
+                )
+            payload = payload.ljust(self.pad_to, b"\x00")
+        phv.payload = payload
+
+
+@dataclass(frozen=True)
+class Drop(Primitive):
+    """Mark the packet dropped; the deparser emits nothing."""
+
+    def execute(self, phv, externs, params) -> None:
+        """Apply this statement's effect to the PHV."""
+        phv.dropped = True
+
+
+@dataclass
+class Action:
+    """A named action: parameter names + primitive sequence."""
+
+    name: str
+    parameters: Sequence[str] = ()
+    primitives: Sequence[Primitive] = ()
+
+    def execute(
+        self, phv: Phv, externs: ExternBindings, arguments: Dict[str, Any]
+    ) -> None:
+        """Apply this statement's effect to the PHV."""
+        missing = set(self.parameters) - set(arguments)
+        if missing:
+            raise ValueError(
+                f"action {self.name} missing arguments: {sorted(missing)}"
+            )
+        for primitive in self.primitives:
+            primitive.execute(phv, externs, arguments)

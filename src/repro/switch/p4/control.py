@@ -1,0 +1,97 @@
+"""Control flow: match-action table application and conditionals.
+
+A P4 control block is a sequence of statements; here those are table
+applications (reusing :class:`~repro.switch.pipeline.MatchActionTable` for
+entry storage and matching) and validity-conditioned sub-blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Union
+
+from repro.switch.p4.actions import Action
+from repro.switch.p4.expr import Expr, ExternBindings
+from repro.switch.p4.types import Phv
+from repro.switch.pipeline import MatchActionTable
+
+
+class ControlError(Exception):
+    """A control block referenced something that does not exist."""
+
+
+@dataclass
+class Apply:
+    """Apply one match-action table.
+
+    ``keys`` are expressions evaluated against the PHV to form the lookup
+    tuple; ``table`` stores entries whose action name must exist in
+    ``actions``.  On a miss with no default action the packet continues
+    unchanged (P4's implicit NoAction).
+    """
+
+    table: MatchActionTable
+    keys: Sequence[Expr]
+    actions: Dict[str, Action]
+
+    def execute(self, phv: Phv, externs: ExternBindings) -> None:
+        """Execute this control statement against the PHV."""
+        values = tuple(key.evaluate(phv, externs, {}) for key in self.keys)
+        hit = self.table.lookup(*values)
+        if hit is None:
+            return
+        action_name, arguments = hit
+        action = self.actions.get(action_name)
+        if action is None:
+            raise ControlError(
+                f"table {self.table.name} selected unknown action "
+                f"{action_name!r}"
+            )
+        action.execute(phv, externs, arguments)
+
+
+@dataclass
+class IfValid:
+    """Run a sub-block only when a header is valid (``if (hdr.x.isValid())``)."""
+
+    header: str
+    then: Sequence[Union["Apply", "IfValid", "Run"]]
+    otherwise: Sequence[Union["Apply", "IfValid", "Run"]] = ()
+
+    def execute(self, phv: Phv, externs: ExternBindings) -> None:
+        """Execute this control statement against the PHV."""
+        block = self.then if phv.header(self.header).valid else self.otherwise
+        for statement in block:
+            statement.execute(phv, externs)
+
+
+@dataclass
+class Run:
+    """Unconditionally run one action with fixed arguments.
+
+    P4 expresses this as a direct action call inside the control's apply
+    block; DART uses it for the addressing computation that every report
+    performs regardless of table state.
+    """
+
+    action: Action
+    arguments: Dict[str, int] = field(default_factory=dict)
+
+    def execute(self, phv: Phv, externs: ExternBindings) -> None:
+        """Execute this control statement against the PHV."""
+        self.action.execute(phv, externs, dict(self.arguments))
+
+
+@dataclass
+class Control:
+    """A named control block: an ordered statement list."""
+
+    name: str
+    statements: Sequence[Union[Apply, IfValid, Run]]
+
+    def execute(self, phv: Phv, externs: ExternBindings) -> None:
+        """Execute this control statement against the PHV."""
+        for statement in self.statements:
+            if phv.dropped:
+                return
+            statement.execute(phv, externs)

@@ -1,0 +1,41 @@
+"""The deparser: emit valid headers in order, then run fixups.
+
+Real deparsers recompute volatile quantities after header assembly:
+length fields, the IPv4 header checksum, and -- on the DART prototype --
+the RoCEv2 invariant CRC via the CRC extern.  Fixups here are named,
+ordered passes over the assembled frame; the DART program registers the
+same three the Tofino program configures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.switch.p4.types import Phv
+
+#: A fixup maps (frame bytes, phv) -> new frame bytes.
+Fixup = Callable[[bytes, Phv], bytes]
+
+
+@dataclass
+class Deparser:
+    """Emit ``header_order`` (valid headers only) + payload, then fixups."""
+
+    header_order: Sequence[str]
+    fixups: Sequence[Fixup] = ()
+
+    def deparse(self, phv: Phv) -> bytes:
+        """Emit the frame bytes for the PHV (empty if dropped)."""
+        if phv.dropped:
+            return b""
+        pieces: List[bytes] = []
+        for name in self.header_order:
+            header = phv.header(name)
+            if header.valid:
+                pieces.append(header.pack())
+        pieces.append(phv.payload)
+        frame = b"".join(pieces)
+        for fixup in self.fixups:
+            frame = fixup(frame, phv)
+        return frame

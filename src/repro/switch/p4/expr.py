@@ -1,0 +1,186 @@
+"""Expressions evaluated against a PHV during action execution.
+
+A small, explicit expression tree: constants, header fields, metadata,
+action parameters, binary arithmetic, and the two hash externs DART needs
+(slot/collector hashing and the key checksum).  Expressions are data, not
+lambdas, so programs are inspectable -- the property that makes the IR a
+meaningful stand-in for P4 source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Union
+
+from repro.switch.p4.types import Phv
+
+ExprLike = Union["Expr", int]
+
+
+def as_expr(value: ExprLike) -> "Expr":
+    """Coerce bare ints to :class:`Const` for ergonomic program text."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot use {type(value).__name__} as an expression")
+
+
+class Expr:
+    """Base expression node."""
+
+    def evaluate(self, phv: Phv, externs: "ExternBindings", params: Dict[str, Any]) -> int:
+        """Evaluate to an integer against the PHV, externs and parameters."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def evaluate(self, phv, externs, params) -> int:
+        """Evaluate to an integer against the PHV, externs and parameters."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class Field(Expr):
+    """A header field reference, e.g. ``Field("bth", "psn")``."""
+
+    header: str
+    field: str
+
+    def evaluate(self, phv, externs, params) -> int:
+        """Evaluate to an integer against the PHV, externs and parameters."""
+        return phv.header(self.header).get(self.field)
+
+
+@dataclass(frozen=True)
+class Meta(Expr):
+    """A metadata field reference."""
+
+    name: str
+
+    def evaluate(self, phv, externs, params) -> int:
+        """Evaluate to an integer against the PHV, externs and parameters."""
+        return phv.get_meta(self.name)
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """An action parameter bound by the matched table entry."""
+
+    name: str
+
+    def evaluate(self, phv, externs, params) -> int:
+        """Evaluate to an integer against the PHV, externs and parameters."""
+        if self.name not in params:
+            raise KeyError(f"action parameter {self.name!r} not bound")
+        return params[self.name]
+
+
+_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: a % b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic on two sub-expressions."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+    def evaluate(self, phv, externs, params) -> int:
+        """Evaluate to an integer against the PHV, externs and parameters."""
+        return _OPS[self.op](
+            self.left.evaluate(phv, externs, params),
+            self.right.evaluate(phv, externs, params),
+        )
+
+
+@dataclass(frozen=True)
+class HashOf(Expr):
+    """The hash extern: ``hash_<index>(blob) % modulus``.
+
+    ``blob`` names a PHV blob (the telemetry key bytes); ``index`` and
+    ``modulus`` are sub-expressions so the same program text serves any
+    copy index and table size.  On Tofino this is the CRC extern with a
+    per-index polynomial configuration; here it binds to the deployment's
+    global hash family so switch and queriers provably agree.
+    """
+
+    blob: str
+    index: Expr
+    modulus: Expr
+
+    def evaluate(self, phv, externs, params) -> int:
+        """Evaluate to an integer against the PHV, externs and parameters."""
+        key = phv.blobs.get(self.blob)
+        if key is None:
+            raise KeyError(f"blob {self.blob!r} not extracted")
+        return externs.hash(
+            key,
+            self.index.evaluate(phv, externs, params),
+            self.modulus.evaluate(phv, externs, params),
+        )
+
+
+@dataclass(frozen=True)
+class ChecksumOf(Expr):
+    """The key-checksum extern over a PHV blob."""
+
+    blob: str
+
+    def evaluate(self, phv, externs, params) -> int:
+        """Evaluate to an integer against the PHV, externs and parameters."""
+        key = phv.blobs.get(self.blob)
+        if key is None:
+            raise KeyError(f"blob {self.blob!r} not extracted")
+        return externs.key_checksum(key)
+
+
+class ExternBindings:
+    """Extern functions a program may call, bound at program-build time.
+
+    Parameters
+    ----------
+    hash_family:
+        The deployment's :class:`~repro.hashing.hash_family.HashFamily`.
+    key_checksum:
+        The deployment's :class:`~repro.hashing.checksum.KeyChecksum`.
+    registers:
+        Named register arrays (:class:`~repro.switch.externs.RegisterArray`).
+    """
+
+    def __init__(self, hash_family, key_checksum, registers=None) -> None:
+        self._family = hash_family
+        self._checksum = key_checksum
+        self.registers = dict(registers or {})
+
+    def hash(self, key: bytes, index: int, modulus: int) -> int:
+        """The indexed global hash extern, reduced modulo ``modulus``."""
+        return self._family.hash_key_mod(key, index, modulus)
+
+    def key_checksum(self, key: bytes) -> int:
+        """The b-bit key-checksum extern."""
+        return self._checksum.compute(key)
+
+    def register(self, name: str):
+        """Look up a bound register array by name."""
+        if name not in self.registers:
+            raise KeyError(f"no register array {name!r} bound")
+        return self.registers[name]

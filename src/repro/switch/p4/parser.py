@@ -1,0 +1,138 @@
+"""The P4 parser: a state machine extracting headers from packet bytes.
+
+Each state extracts zero or more headers (fixed-size, or variable-length
+with the length taken from a previously parsed field -- P4's varbit), then
+either accepts, rejects, or selects the next state on a field value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.switch.p4.types import HeaderType, Phv
+
+ACCEPT = "accept"
+REJECT = "reject"
+
+
+class ParserError(Exception):
+    """The packet did not fit the parse graph."""
+
+
+@dataclass(frozen=True)
+class ExtractFixed:
+    """Extract one fixed-size header into the PHV."""
+
+    header: str
+
+
+@dataclass(frozen=True)
+class ExtractVar:
+    """Extract a variable-length blob, length from an already-parsed field.
+
+    ``length_from`` is ``(header, field)``; the field value is the blob
+    length in bytes.  The blob lands in ``phv.blobs[name]``.
+    """
+
+    name: str
+    length_from: Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ExtractRest:
+    """Extract all remaining bytes into a blob (or payload if name='')."""
+
+    name: str = ""
+
+
+Extraction = Union[ExtractFixed, ExtractVar, ExtractRest]
+
+
+@dataclass(frozen=True)
+class ParserState:
+    """One parse state: extractions then a transition.
+
+    ``select`` is ``None`` (unconditional transition to ``default``) or a
+    ``(header, field)`` pair whose value is looked up in ``transitions``.
+    """
+
+    name: str
+    extractions: Tuple[Extraction, ...] = ()
+    select: Optional[Tuple[str, str]] = None
+    transitions: Tuple[Tuple[int, str], ...] = ()
+    default: str = ACCEPT
+
+
+class P4Parser:
+    """Runs the parse graph over raw bytes, producing a populated PHV."""
+
+    def __init__(
+        self,
+        header_types: Sequence[HeaderType],
+        states: Sequence[ParserState],
+        start: str,
+    ) -> None:
+        self.header_types = list(header_types)
+        self.states: Dict[str, ParserState] = {s.name: s for s in states}
+        if len(self.states) != len(states):
+            raise ValueError("duplicate parser state names")
+        if start not in self.states:
+            raise ValueError(f"unknown start state {start!r}")
+        self.start = start
+
+    def parse(self, packet: bytes) -> Phv:
+        """Run the parse graph over ``packet``; returns the populated PHV."""
+        phv = Phv(self.header_types)
+        cursor = 0
+        state_name = self.start
+        steps = 0
+        while state_name not in (ACCEPT, REJECT):
+            steps += 1
+            if steps > 1000:
+                raise ParserError("parse graph did not terminate")
+            state = self.states.get(state_name)
+            if state is None:
+                raise ParserError(f"transition to unknown state {state_name!r}")
+
+            for extraction in state.extractions:
+                if isinstance(extraction, ExtractFixed):
+                    header = phv.header(extraction.header)
+                    size = header.header_type.total_bytes
+                    if cursor + size > len(packet):
+                        raise ParserError(
+                            f"truncated packet extracting {extraction.header}"
+                        )
+                    header.unpack(packet[cursor : cursor + size])
+                    cursor += size
+                elif isinstance(extraction, ExtractVar):
+                    source_header, source_field = extraction.length_from
+                    length = phv.header(source_header).get(source_field)
+                    if cursor + length > len(packet):
+                        raise ParserError(
+                            f"truncated packet extracting blob {extraction.name}"
+                        )
+                    phv.blobs[extraction.name] = packet[cursor : cursor + length]
+                    cursor += length
+                elif isinstance(extraction, ExtractRest):
+                    rest = packet[cursor:]
+                    cursor = len(packet)
+                    if extraction.name:
+                        phv.blobs[extraction.name] = rest
+                    else:
+                        phv.payload = rest
+                else:  # pragma: no cover - defensive
+                    raise ParserError(f"unknown extraction {extraction!r}")
+
+            if state.select is None:
+                state_name = state.default
+            else:
+                header, field_name = state.select
+                value = phv.header(header).get(field_name)
+                state_name = dict(state.transitions).get(value, state.default)
+
+        if state_name == REJECT:
+            raise ParserError("packet rejected by parse graph")
+        if cursor < len(packet) and not phv.payload:
+            phv.payload = packet[cursor:]
+        return phv

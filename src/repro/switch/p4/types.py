@@ -1,0 +1,141 @@
+"""Header types, header instances and the packet header vector (PHV).
+
+P4 programs operate on typed headers -- ordered lists of fixed-width bit
+fields -- held in a per-packet header vector alongside scratch metadata.
+This module models those, with byte-exact pack/unpack so the deparser can
+reproduce wire frames bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class HeaderType:
+    """A named header layout: ordered (field name, bit width) pairs.
+
+    Total width must be a whole number of bytes, as on real hardware
+    deparsers.  Fields wider than 64 bits are allowed (e.g. MAC pairs are
+    modelled as two 48-bit fields; values use explicit byte fields).
+    """
+
+    name: str
+    fields: Tuple[Tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for field_name, bits in self.fields:
+            if bits < 1:
+                raise ValueError(
+                    f"field {self.name}.{field_name} must be at least 1 bit"
+                )
+            if field_name in seen:
+                raise ValueError(f"duplicate field {self.name}.{field_name}")
+            seen.add(field_name)
+        if self.total_bits % 8:
+            raise ValueError(
+                f"header {self.name} is {self.total_bits} bits; headers must "
+                "be byte-aligned"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Header width in bits."""
+        return sum(bits for _, bits in self.fields)
+
+    @property
+    def total_bytes(self) -> int:
+        """Header width in bytes."""
+        return self.total_bits // 8
+
+    def field_bits(self, field_name: str) -> int:
+        """Bit width of one field; raises ``KeyError`` if absent."""
+        for name, bits in self.fields:
+            if name == field_name:
+                return bits
+        raise KeyError(f"no field {field_name!r} in header {self.name}")
+
+
+class Header:
+    """One header instance: a value per field plus a validity bit."""
+
+    def __init__(self, header_type: HeaderType, valid: bool = False) -> None:
+        self.header_type = header_type
+        self.valid = valid
+        self._values: Dict[str, int] = {name: 0 for name, _ in header_type.fields}
+
+    def __repr__(self) -> str:
+        state = "valid" if self.valid else "invalid"
+        return f"Header({self.header_type.name}, {state})"
+
+    def get(self, field_name: str) -> int:
+        """Current value of a field."""
+        if field_name not in self._values:
+            raise KeyError(
+                f"no field {field_name!r} in header {self.header_type.name}"
+            )
+        return self._values[field_name]
+
+    def set(self, field_name: str, value: int) -> None:
+        """Set a field, masking to its declared width."""
+        bits = self.header_type.field_bits(field_name)
+        self._values[field_name] = value & ((1 << bits) - 1)
+
+    def pack(self) -> bytes:
+        """Serialise fields MSB-first into the header's bytes."""
+        accumulator = 0
+        for name, bits in self.header_type.fields:
+            accumulator = (accumulator << bits) | (
+                self._values[name] & ((1 << bits) - 1)
+            )
+        return accumulator.to_bytes(self.header_type.total_bytes, "big")
+
+    def unpack(self, data: bytes) -> None:
+        """Populate fields from wire bytes and mark the header valid."""
+        if len(data) < self.header_type.total_bytes:
+            raise ValueError(
+                f"need {self.header_type.total_bytes} bytes for "
+                f"{self.header_type.name}, got {len(data)}"
+            )
+        accumulator = int.from_bytes(data[: self.header_type.total_bytes], "big")
+        for name, bits in reversed(self.header_type.fields):
+            self._values[name] = accumulator & ((1 << bits) - 1)
+            accumulator >>= bits
+        self.valid = True
+
+
+class Phv:
+    """Packet header vector: headers + metadata + unparsed payload.
+
+    ``metadata`` holds integers (P4 metadata fields); ``blobs`` holds
+    variable-length byte strings extracted by varbit parsing (e.g. the
+    telemetry key) -- Tofino models these as header stacks, we keep them
+    as named blobs for clarity.
+    """
+
+    def __init__(self, header_types: Sequence[HeaderType]) -> None:
+        self.headers: Dict[str, Header] = {
+            ht.name: Header(ht) for ht in header_types
+        }
+        self.metadata: Dict[str, int] = {}
+        self.blobs: Dict[str, bytes] = {}
+        self.payload: bytes = b""
+        self.dropped = False
+
+    def header(self, name: str) -> Header:
+        """Fetch a header instance by type name."""
+        if name not in self.headers:
+            raise KeyError(f"no header {name!r} in PHV")
+        return self.headers[name]
+
+    def get_meta(self, name: str) -> int:
+        """Read a metadata field; raises ``KeyError`` if unset."""
+        if name not in self.metadata:
+            raise KeyError(f"metadata {name!r} not set")
+        return self.metadata[name]
+
+    def set_meta(self, name: str, value: int) -> None:
+        """Write a metadata field."""
+        self.metadata[name] = int(value)

@@ -1,0 +1,191 @@
+"""Match-action tables, the programmable-switch building block.
+
+P4 pipelines are sequences of tables: each matches header/metadata fields
+(exact, ternary or LPM) and binds action parameters.  DART needs only a
+small exact-match table (collector ID -> RoCEv2 endpoint parameters), but
+the model supports the general forms so the network substrate can reuse it
+for routing and so resource accounting is realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class MatchKind(Enum):
+    """P4 match kinds supported by the table model."""
+
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One installed entry: match spec -> (action name, parameters)."""
+
+    match: Tuple[Any, ...]
+    action: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    #: For TERNARY fields: per-field masks (None = exact). For LPM: prefix
+    #: lengths in bits applied to integer fields.
+    masks: Optional[Tuple[Optional[int], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.masks is not None and len(self.masks) != len(self.match):
+            raise ValueError("masks must align with match fields")
+
+
+class MatchActionTable:
+    """A P4 match-action table with install-time validation.
+
+    Parameters
+    ----------
+    name:
+        Table name (diagnostics and SRAM accounting).
+    match_kinds:
+        The match kind of each key field, in order.
+    max_entries:
+        Capacity; P4 tables are statically sized, and installs beyond the
+        capacity fail exactly as they would on the ASIC.
+    entry_value_bytes:
+        Approximate action-data bytes per entry, for SRAM accounting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        match_kinds: Sequence[MatchKind],
+        max_entries: int,
+        entry_value_bytes: int = 0,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if not match_kinds:
+            raise ValueError("a table needs at least one match field")
+        self.name = name
+        self.match_kinds = tuple(match_kinds)
+        self.max_entries = max_entries
+        self.entry_value_bytes = entry_value_bytes
+        self._entries: List[TableEntry] = []
+        self._exact_index: Dict[Tuple[Any, ...], TableEntry] = {}
+        self.default_action: Optional[Tuple[str, Dict[str, Any]]] = None
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchActionTable(name={self.name!r}, entries={len(self)}/"
+            f"{self.max_entries})"
+        )
+
+    @property
+    def is_pure_exact(self) -> bool:
+        """Whether every key field matches exactly (hash-indexable)."""
+        return all(kind is MatchKind.EXACT for kind in self.match_kinds)
+
+    def set_default(self, action: str, **params: Any) -> None:
+        """The action taken on a miss."""
+        self.default_action = (action, params)
+
+    def add_entry(self, entry: TableEntry) -> None:
+        """Install an entry; rejects capacity overflow and key-arity errors."""
+        if len(self._entries) >= self.max_entries:
+            raise ValueError(
+                f"table {self.name} full ({self.max_entries} entries)"
+            )
+        if len(entry.match) != len(self.match_kinds):
+            raise ValueError(
+                f"entry has {len(entry.match)} match fields, table "
+                f"{self.name} expects {len(self.match_kinds)}"
+            )
+        if self.is_pure_exact:
+            if entry.match in self._exact_index:
+                raise ValueError(
+                    f"duplicate exact-match entry {entry.match} in {self.name}"
+                )
+            self._exact_index[entry.match] = entry
+        self._entries.append(entry)
+
+    def remove_entry(self, match: Tuple[Any, ...]) -> bool:
+        """Remove the entry with the given match spec; returns success."""
+        for index, entry in enumerate(self._entries):
+            if entry.match == match:
+                del self._entries[index]
+                self._exact_index.pop(match, None)
+                return True
+        return False
+
+    def _field_matches(
+        self, kind: MatchKind, entry_value: Any, mask: Optional[int], value: Any
+    ) -> bool:
+        if kind is MatchKind.EXACT:
+            return entry_value == value
+        if kind is MatchKind.TERNARY:
+            if mask is None:
+                return entry_value == value
+            return (entry_value & mask) == (value & mask)
+        # LPM: mask carries the prefix length over a 32-bit field.
+        if mask is None:
+            return entry_value == value
+        if mask == 0:
+            return True
+        prefix_mask = ((1 << mask) - 1) << (32 - mask)
+        return (entry_value & prefix_mask) == (value & prefix_mask)
+
+    def lookup(self, *values: Any) -> Optional[Tuple[str, Dict[str, Any]]]:
+        """Match ``values`` against the table; returns (action, params).
+
+        Exact tables use a hash index; ternary/LPM tables scan by priority
+        (highest first) and prefix length, like TCAM resolution.
+        """
+        if len(values) != len(self.match_kinds):
+            raise ValueError(
+                f"lookup with {len(values)} fields, table {self.name} "
+                f"expects {len(self.match_kinds)}"
+            )
+        if self.is_pure_exact:
+            entry = self._exact_index.get(tuple(values))
+            if entry is not None:
+                self.hits += 1
+                return entry.action, entry.params
+            self.misses += 1
+            return self.default_action
+
+        best: Optional[TableEntry] = None
+        best_rank: Tuple[int, int] = (-1, -1)
+        for entry in self._entries:
+            masks = entry.masks or (None,) * len(values)
+            if all(
+                self._field_matches(kind, ev, mask, value)
+                for kind, ev, mask, value in zip(
+                    self.match_kinds, entry.match, masks, values
+                )
+            ):
+                lpm_length = sum(
+                    mask or 0
+                    for kind, mask in zip(self.match_kinds, masks)
+                    if kind is MatchKind.LPM
+                )
+                rank = (entry.priority, lpm_length)
+                if rank > best_rank:
+                    best, best_rank = entry, rank
+        if best is not None:
+            self.hits += 1
+            return best.action, best.params
+        self.misses += 1
+        return self.default_action
+
+    @property
+    def sram_bytes(self) -> int:
+        """Approximate SRAM held by installed entries (key + action data)."""
+        key_bytes = 0
+        for kind in self.match_kinds:
+            key_bytes += 4 if kind is not MatchKind.EXACT else 4
+        return len(self._entries) * (key_bytes + self.entry_value_bytes)

@@ -1,0 +1,95 @@
+"""Network-failure backend: (failure ID, location) -> time + debug info.
+
+Sixth row of paper Table 1, modelled on Pingmesh-style failure tracking
+(Guo et al. [16], also the paper's source for network scale): probing and
+health systems assign failure IDs to incidents (link down, switch reboot,
+packet corruption) and record where and when each occurred with a debug
+payload operators pull during triage.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+from repro.telemetry.backends import TelemetryBackend, TelemetryRecord
+
+
+class FailureKind(IntEnum):
+    """Incident classes failure-tracking systems distinguish."""
+
+    LINK_DOWN = 1
+    SWITCH_REBOOT = 2
+    FRAME_CORRUPTION = 3
+    ROUTE_FLAP = 4
+    HIGH_LOSS = 5
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure observation (20 bytes)."""
+
+    timestamp_ns: int
+    kind: FailureKind
+    severity: int  # 0-255 operator-defined scale
+    debug_code: int  # opaque pointer into the debugging system
+
+    _FORMAT = ">QIIHH"
+
+    def pack(self) -> bytes:
+        """Pack into the fixed-size slot value bytes."""
+        return struct.pack(
+            self._FORMAT,
+            self.timestamp_ns & 0xFFFFFFFFFFFFFFFF,
+            int(self.kind),
+            self.debug_code & 0xFFFFFFFF,
+            self.severity & 0xFFFF,
+            0,  # reserved
+        )
+
+    @classmethod
+    def unpack(cls, value: bytes) -> "FailureEvent":
+        """Inverse of :meth:`pack`."""
+        timestamp, kind, debug_code, severity, _ = struct.unpack(
+            cls._FORMAT, value[: struct.calcsize(cls._FORMAT)]
+        )
+        return cls(
+            timestamp_ns=timestamp,
+            kind=FailureKind(kind),
+            severity=severity,
+            debug_code=debug_code,
+        )
+
+
+class NetworkFailureBackend(TelemetryBackend):
+    """Failure-incident recording keyed by (failure ID, location)."""
+
+    name = "network failures"
+
+    def encode_value(self, measurement: FailureEvent) -> bytes:
+        """Pack a failure event into slot-value bytes."""
+        return measurement.pack()
+
+    def decode_value(self, value: bytes) -> FailureEvent:
+        """Unpack slot-value bytes into a failure event."""
+        return FailureEvent.unpack(value)
+
+    @staticmethod
+    def key_for(failure_id: int, location: str):
+        """Composite key: incident identifier plus location string
+        (e.g. ``"pod3/edge1/port12"``)."""
+        if failure_id < 0:
+            raise ValueError("failure_id must be non-negative")
+        return (failure_id, location)
+
+    def record_failure(
+        self, failure_id: int, location: str, event: FailureEvent
+    ) -> TelemetryRecord:
+        """Store one failure observation under its (ID, location) key."""
+        return self.report(self.key_for(failure_id, location), event)
+
+    def lookup(self, failure_id: int, location: str) -> Optional[FailureEvent]:
+        """The stored failure event, or None if aged out / unknown."""
+        return self.query(self.key_for(failure_id, location))

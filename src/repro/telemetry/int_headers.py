@@ -1,0 +1,144 @@
+"""In-band INT header codecs: the shim and per-hop metadata stack.
+
+Models INT-MD (the embed-data mode of the INT specification the paper
+cites for its running example): data packets carry a shim header after
+L4 plus a stack of per-hop metadata words; each transit switch pushes its
+metadata on top and decrements a remaining-hop budget; the sink strips
+the stack and restores the original packet.
+
+Only the instruction DART's path-tracing example needs -- the 32-bit
+switch ID -- is implemented, matching "storing 32-bits per hop" from the
+paper's section 2 footnote.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: Version tag we stamp into shims (INT 2.x style).
+INT_VERSION = 2
+#: Instruction bitmap bit for "switch ID" (bit 15, the spec's first bit).
+INSTRUCTION_SWITCH_ID = 0x8000
+
+
+class IntDecodeError(Exception):
+    """Malformed INT shim or metadata stack."""
+
+
+@dataclass
+class IntShim:
+    """The 6-byte INT shim preceding the metadata stack.
+
+    Fields: version (8), hop metadata length in 4-byte words (8),
+    remaining hop budget (8), instruction bitmap (16), current stack
+    length in 4-byte words (8).
+    """
+
+    version: int = INT_VERSION
+    hop_metadata_words: int = 1
+    remaining_hops: int = 8
+    instructions: int = INSTRUCTION_SWITCH_ID
+    stack_words: int = 0
+
+    LENGTH = 6
+
+    def pack(self) -> bytes:
+        """Serialise the 6-byte shim."""
+        return struct.pack(
+            ">BBBHB",
+            self.version & 0xFF,
+            self.hop_metadata_words & 0xFF,
+            self.remaining_hops & 0xFF,
+            self.instructions & 0xFFFF,
+            self.stack_words & 0xFF,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IntShim":
+        """Parse a shim; raises :class:`IntDecodeError` on corruption."""
+        if len(data) < cls.LENGTH:
+            raise IntDecodeError("truncated INT shim")
+        version, hop_words, remaining, instructions, stack_words = struct.unpack(
+            ">BBBHB", data[: cls.LENGTH]
+        )
+        if version != INT_VERSION:
+            raise IntDecodeError(f"unsupported INT version {version}")
+        return cls(
+            version=version,
+            hop_metadata_words=hop_words,
+            remaining_hops=remaining,
+            instructions=instructions,
+            stack_words=stack_words,
+        )
+
+
+@dataclass
+class IntStack:
+    """The INT payload: shim + per-hop metadata stack + user payload.
+
+    The stack grows at the *top*: the most recent hop's metadata comes
+    first, so the travel-order path is the reverse of the stored words.
+    """
+
+    shim: IntShim = field(default_factory=IntShim)
+    hop_words: List[int] = field(default_factory=list)
+    user_payload: bytes = b""
+
+    def pack(self) -> bytes:
+        """Serialise shim + metadata stack + user payload."""
+        self.shim.stack_words = len(self.hop_words) * self.shim.hop_metadata_words
+        stack = b"".join(struct.pack(">I", w & 0xFFFFFFFF) for w in self.hop_words)
+        return self.shim.pack() + stack + self.user_payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IntStack":
+        """Parse an INT payload; raises :class:`IntDecodeError` on corruption."""
+        shim = IntShim.unpack(data)
+        stack_bytes = shim.stack_words * 4
+        end = IntShim.LENGTH + stack_bytes
+        if len(data) < end:
+            raise IntDecodeError("truncated INT metadata stack")
+        if shim.hop_metadata_words < 1:
+            raise IntDecodeError("hop metadata length must be >= 1 word")
+        words = [
+            struct.unpack(">I", data[offset : offset + 4])[0]
+            for offset in range(IntShim.LENGTH, end, 4)
+        ]
+        return cls(shim=shim, hop_words=words, user_payload=data[end:])
+
+    # ------------------------------------------------------------------
+    # Transit / sink operations
+    # ------------------------------------------------------------------
+
+    def push_hop(self, switch_id: int) -> bool:
+        """Transit behaviour: push our metadata if budget remains.
+
+        Returns whether the hop was recorded (False once the remaining-hop
+        budget is exhausted -- packets keep flowing, telemetry stops).
+        """
+        if self.shim.remaining_hops == 0:
+            return False
+        self.hop_words.insert(0, switch_id & 0xFFFFFFFF)
+        self.shim.remaining_hops -= 1
+        return True
+
+    def travel_path(self) -> List[int]:
+        """Switch IDs in travel order (first hop first)."""
+        return list(reversed(self.hop_words))
+
+    def strip(self) -> Tuple[List[int], bytes]:
+        """Sink behaviour: extract the path and the restored payload."""
+        return self.travel_path(), self.user_payload
+
+
+def new_probe(user_payload: bytes = b"", max_hops: int = 8) -> IntStack:
+    """A fresh INT-enabled packet payload from a source host."""
+    if not 1 <= max_hops <= 255:
+        raise ValueError(f"max_hops must be in [1, 255], got {max_hops}")
+    return IntStack(
+        shim=IntShim(remaining_hops=max_hops),
+        hop_words=[],
+        user_payload=user_payload,
+    )

@@ -1,0 +1,48 @@
+"""In-band INT backend: flow 5-tuple -> packet-carried path data.
+
+The first row of paper Table 1 and the running example of the whole paper:
+"for INT, each switch writes its telemetry data into packets and only the
+last hop pushes the information to the collector.  Here, the key will be
+the <Flow 5-tuple>."  Values are the 5-hop switch-ID paths of Figure 4
+(160 bits).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.collector.store import DartStore
+from repro.network.flows import Flow
+from repro.network.simulation import decode_path, encode_path
+from repro.telemetry.backends import TelemetryBackend, TelemetryRecord
+
+
+class InbandIntBackend(TelemetryBackend):
+    """Sink-reported INT path tracing."""
+
+    name = "in-band INT"
+
+    def __init__(self, store: DartStore) -> None:
+        if store.config.value_bytes < 20:
+            raise ValueError(
+                "in-band INT path values need value_bytes >= 20"
+            )
+        super().__init__(store)
+
+    def encode_value(self, measurement: Sequence[int]) -> bytes:
+        """Pack a switch-ID path into slot-value bytes."""
+        return encode_path(measurement)
+
+    def decode_value(self, value: bytes) -> List[int]:
+        """Unpack slot-value bytes into a switch-ID path."""
+        return decode_path(value[:20])
+
+    # Convenience entry points phrased in INT terms -------------------------
+
+    def sink_report(self, flow: Flow, path: Sequence[int]) -> TelemetryRecord:
+        """What the last-hop (sink) switch pushes for one flow."""
+        return self.report(flow.five_tuple, path)
+
+    def trace_of(self, flow: Flow) -> Optional[List[int]]:
+        """The recorded switch path of ``flow``, if still queryable."""
+        return self.query(flow.five_tuple)

@@ -1,0 +1,72 @@
+"""Query-based mirroring backend: query ID -> query answer.
+
+Third row of paper Table 1, modelled on Everflow-style systems [57]: the
+operator installs match-and-mirror *queries* on switches ("mirror packets
+matching X"), and each installed query reports its current answer under a
+stable query ID.  The answer here is a compact aggregate: matched-packet
+count, matched-byte count and the last matching switch.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.telemetry.backends import TelemetryBackend, TelemetryRecord
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """The running answer of one installed mirroring query (16 bytes)."""
+
+    matched_packets: int
+    matched_bytes: int
+    last_switch_id: int
+
+    _FORMAT = ">QII"
+
+    def pack(self) -> bytes:
+        """Pack into the fixed-size slot value bytes."""
+        return struct.pack(
+            self._FORMAT,
+            self.matched_bytes & 0xFFFFFFFFFFFFFFFF,
+            self.matched_packets & 0xFFFFFFFF,
+            self.last_switch_id & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, value: bytes) -> "QueryAnswer":
+        """Inverse of :meth:`pack`."""
+        matched_bytes, packets, switch_id = struct.unpack(
+            cls._FORMAT, value[: struct.calcsize(cls._FORMAT)]
+        )
+        return cls(
+            matched_packets=packets,
+            matched_bytes=matched_bytes,
+            last_switch_id=switch_id,
+        )
+
+
+class QueryMirrorBackend(TelemetryBackend):
+    """Reports per-query aggregates under stable query IDs."""
+
+    name = "query-based mirroring"
+
+    def encode_value(self, measurement: QueryAnswer) -> bytes:
+        """Pack a query answer into slot-value bytes."""
+        return measurement.pack()
+
+    def decode_value(self, value: bytes) -> QueryAnswer:
+        """Unpack slot-value bytes into a query answer."""
+        return QueryAnswer.unpack(value)
+
+    def update_answer(self, query_id: int, answer: QueryAnswer) -> TelemetryRecord:
+        """A switch refreshing the stored answer of query ``query_id``."""
+        if query_id < 0:
+            raise ValueError("query_id must be non-negative")
+        return self.report(("query", query_id), answer)
+
+    def answer_of(self, query_id: int) -> Optional[QueryAnswer]:
+        """The current stored answer of a query, or None."""
+        return self.query(("query", query_id))

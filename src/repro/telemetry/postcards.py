@@ -1,0 +1,99 @@
+"""Postcard-mode INT: (switch ID, flow 5-tuple) -> local measurement.
+
+Second row of paper Table 1: "when DART is used with INT working in
+postcard mode, where each switch reports data, the key will be the
+concatenation of <Flow 5-tuple> and the <switchID>" (paper section 3).
+Every switch on a flow's path reports its own local view, so operators can
+reconstruct per-hop behaviour (latency, queueing) without in-band headers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.network.flows import Flow
+from repro.telemetry.backends import TelemetryBackend, TelemetryRecord
+
+
+@dataclass(frozen=True)
+class PostcardMeasurement:
+    """One switch's local measurement for one flow.
+
+    Packs to 20 bytes: timestamp (8) + queue depth (4) + egress port (2) +
+    hop latency in ns (4) + padding flags (2), fitting the default slot.
+    """
+
+    timestamp_ns: int
+    queue_depth: int
+    egress_port: int
+    hop_latency_ns: int
+    congestion_flag: bool = False
+
+    _FORMAT = ">QIHIH"
+
+    def pack(self) -> bytes:
+        """Pack into the fixed-size slot value bytes."""
+        return struct.pack(
+            self._FORMAT,
+            self.timestamp_ns & 0xFFFFFFFFFFFFFFFF,
+            self.queue_depth & 0xFFFFFFFF,
+            self.egress_port & 0xFFFF,
+            self.hop_latency_ns & 0xFFFFFFFF,
+            int(self.congestion_flag),
+        )
+
+    @classmethod
+    def unpack(cls, value: bytes) -> "PostcardMeasurement":
+        """Inverse of :meth:`pack`."""
+        timestamp, depth, port, latency, flags = struct.unpack(
+            cls._FORMAT, value[: struct.calcsize(cls._FORMAT)]
+        )
+        return cls(
+            timestamp_ns=timestamp,
+            queue_depth=depth,
+            egress_port=port,
+            hop_latency_ns=latency,
+            congestion_flag=bool(flags & 1),
+        )
+
+
+class PostcardBackend(TelemetryBackend):
+    """Per-switch postcard reporting."""
+
+    name = "INT postcards"
+
+    def encode_value(self, measurement: PostcardMeasurement) -> bytes:
+        """Pack a postcard measurement into slot-value bytes."""
+        return measurement.pack()
+
+    def decode_value(self, value: bytes) -> PostcardMeasurement:
+        """Unpack slot-value bytes into a postcard measurement."""
+        return PostcardMeasurement.unpack(value)
+
+    @staticmethod
+    def key_for(switch_id: int, flow: Flow):
+        """The composite postcard key: (switchID, flow 5-tuple)."""
+        return (switch_id, flow.five_tuple)
+
+    def switch_report(
+        self, switch_id: int, flow: Flow, measurement: PostcardMeasurement
+    ) -> TelemetryRecord:
+        """What one switch on the path reports for one flow."""
+        return self.report(self.key_for(switch_id, flow), measurement)
+
+    def hop_measurement(
+        self, switch_id: int, flow: Flow
+    ) -> Optional[PostcardMeasurement]:
+        """Query one hop's postcard for a flow."""
+        return self.query(self.key_for(switch_id, flow))
+
+    def path_measurements(
+        self, flow: Flow, path: Sequence[int]
+    ) -> Dict[int, Optional[PostcardMeasurement]]:
+        """Collect every hop's postcard along a known path."""
+        return {
+            switch_id: self.hop_measurement(switch_id, flow)
+            for switch_id in path
+        }

@@ -1,0 +1,146 @@
+"""Tests for the capacity model and placement-resilience experiments."""
+
+import pytest
+
+from repro.network.capacity import (
+    RNIC_MESSAGES_PER_SEC,
+    collector_capacity_rows,
+    simulate_ingestion,
+    storm_comparison_rows,
+)
+from repro.experiments.resilience import (
+    failure_unreadable_fraction,
+    resilience_rows,
+)
+
+
+class TestCollectorCapacity:
+    def test_dart_orders_of_magnitude_ahead(self):
+        """Paper section 2: the RNIC rate is 'significantly faster than
+        CPU-based telemetry collectors'."""
+        rows = {r["stack"]: r for r in collector_capacity_rows()}
+        dart = rows["DART (RNIC DMA)"]["reports_per_sec_per_host"]
+        confluo = rows["DPDK + Confluo"]["reports_per_sec_per_host"]
+        kafka = rows["sockets + Kafka"]["reports_per_sec_per_host"]
+        assert dart == RNIC_MESSAGES_PER_SEC
+        assert dart > 50 * confluo  # orders of magnitude
+        assert confluo > kafka  # Confluo stack beats Kafka stack
+
+    def test_host_counts_for_datacenter(self):
+        rows = {r["stack"]: r for r in collector_capacity_rows()}
+        # 10K switches at 1M reports/s = 1e10 reports/s total.
+        assert rows["DART (RNIC DMA)"]["hosts_for_10k_switches_1mps"] == 50
+        assert rows["DPDK + Confluo"]["hosts_for_10k_switches_1mps"] > 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collector_capacity_rows(cores_per_collector=0)
+        with pytest.raises(ValueError):
+            collector_capacity_rows(cpu_ghz=0)
+
+
+class TestIngestionQueue:
+    def test_underload_all_delivered(self):
+        result = simulate_ingestion([10] * 100, capacity_per_slot=20, queue_limit=100)
+        assert result.delivered == result.offered == 1000
+        assert result.dropped == 0
+
+    def test_overload_drops(self):
+        result = simulate_ingestion([100] * 10, capacity_per_slot=10, queue_limit=50)
+        assert result.dropped > 0
+        assert result.delivered + result.dropped == result.offered
+        assert result.delivered_fraction < 1.0
+
+    def test_burst_absorbed_by_queue(self):
+        """A short burst within queue capacity loses nothing."""
+        offered = [10] * 40 + [50] + [0] * 10
+        result = simulate_ingestion(offered, capacity_per_slot=12, queue_limit=100)
+        assert result.dropped == 0
+        assert result.peak_queue > 0
+
+    def test_conservation(self):
+        offered = [7, 0, 93, 12, 0, 55]
+        result = simulate_ingestion(offered, capacity_per_slot=9, queue_limit=30)
+        assert result.delivered + result.dropped == sum(offered)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_ingestion([1], capacity_per_slot=-1, queue_limit=0)
+        with pytest.raises(ValueError):
+            simulate_ingestion([-1], capacity_per_slot=1, queue_limit=0)
+        with pytest.raises(ValueError):
+            simulate_ingestion([1], capacity_per_slot=1, queue_limit=-1)
+
+
+class TestStormComparison:
+    def test_dart_survives_storm_cpu_stacks_drop(self):
+        rows = {r["stack"]: r for r in storm_comparison_rows()}
+        assert rows["DART (RNIC DMA)"]["delivered_fraction"] == 1.0
+        assert rows["sockets + Kafka"]["delivered_fraction"] < 0.5
+        assert rows["DPDK + Confluo"]["delivered_fraction"] < 1.0
+
+    def test_ordering(self):
+        rows = {r["stack"]: r for r in storm_comparison_rows()}
+        assert (
+            rows["DART (RNIC DMA)"]["delivered_fraction"]
+            >= rows["DPDK + Confluo"]["delivered_fraction"]
+            >= rows["sockets + Kafka"]["delivered_fraction"]
+        )
+
+
+class TestPlacementResilience:
+    def test_single_placement_loses_owned_fraction(self):
+        """One dead collector of C: ~1/C of keys unreadable."""
+        fraction = failure_unreadable_fraction(
+            num_keys=100_000, num_collectors=10, failed=[3], spread=False
+        )
+        assert fraction == pytest.approx(0.1, abs=0.01)
+
+    def test_spread_placement_quadratically_safer(self):
+        """Spread with N=2: ~ (f/C)^2 unreadable."""
+        fraction = failure_unreadable_fraction(
+            num_keys=200_000, num_collectors=10, failed=[3], spread=True
+        )
+        assert fraction == pytest.approx(0.01, abs=0.005)
+
+    def test_all_failed_loses_everything(self):
+        for spread in (False, True):
+            fraction = failure_unreadable_fraction(
+                num_keys=1000,
+                num_collectors=4,
+                failed=[0, 1, 2, 3],
+                spread=spread,
+            )
+            assert fraction == 1.0
+
+    def test_no_failures_loses_nothing(self):
+        for spread in (False, True):
+            assert (
+                failure_unreadable_fraction(
+                    num_keys=1000, num_collectors=4, failed=[], spread=spread
+                )
+                == 0.0
+            )
+
+    def test_rows_match_expectations(self):
+        rows = resilience_rows(num_collectors=16, failures=(1, 4, 8))
+        for row in rows:
+            assert row["unreadable_single"] == pytest.approx(
+                row["expected_single"], abs=0.02
+            )
+            assert row["unreadable_spread"] == pytest.approx(
+                row["expected_spread"], abs=0.02
+            )
+            # The paper's trade: resiliency vs query locality.
+            assert row["unreadable_spread"] <= row["unreadable_single"]
+            assert row["queries_contact_spread"] > row["queries_contact_single"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            failure_unreadable_fraction(
+                num_keys=0, num_collectors=4, failed=[]
+            )
+        with pytest.raises(ValueError):
+            failure_unreadable_fraction(
+                num_keys=10, num_collectors=4, failed=[9]
+            )

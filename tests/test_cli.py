@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSimulate:
+    def test_basic(self, capsys):
+        assert main(["simulate", "--load", "0.5", "--slots", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "success_rate" in out
+        assert "theory_success" in out
+
+    def test_cas_strategy(self, capsys):
+        assert main(["simulate", "--load", "0.5", "--slots", "8192", "--cas"]) == 0
+        assert "write+cas" in capsys.readouterr().out
+
+    def test_policy_choice(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--load",
+                    "1.0",
+                    "--slots",
+                    "8192",
+                    "--policy",
+                    "consensus_2",
+                ]
+            )
+            == 0
+        )
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "bogus"])
+
+
+class TestPlan:
+    def test_default(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr().out
+        assert "bytes_per_flow_needed" in out
+
+    def test_with_flows_total(self, capsys):
+        assert main(["plan", "--flows", "1000000", "--redundancy", "4"]) == 0
+        assert "total_gb" in capsys.readouterr().out
+
+
+class TestTheory:
+    def test_table(self, capsys):
+        assert main(["theory", "--loads", "0.1,1.0", "--redundancy", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "avg_n1" in out and "avg_n2" in out and "optimal_n" in out
+
+    def test_values_sane(self, capsys):
+        main(["theory", "--loads", "0.0", "--redundancy", "2"])
+        assert "1" in capsys.readouterr().out  # perfect queryability at 0
+
+
+class TestTrace:
+    def test_small_run(self, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "--k",
+                    "4",
+                    "--flows",
+                    "200",
+                    "--loss",
+                    "0.1",
+                    "--bytes-per-flow",
+                    "600",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "success_rate" in out
+        assert "fat_tree_k" in out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("simulate", "plan", "theory", "trace", "experiments"):
+            args = parser.parse_args(
+                [command] if command != "experiments" else [command]
+            )
+            assert callable(args.func)

@@ -1,0 +1,249 @@
+"""Tests for collector hosts, the store facade, counters and epochs."""
+
+import pytest
+
+from repro.core.config import DartConfig
+from repro.core.policies import QueryOutcome, ReturnPolicy
+from repro.collector.collector import Collector, CollectorCluster
+from repro.collector.counters import CounterStore
+from repro.collector.epochs import EpochArchive, EpochManager
+from repro.collector.store import DartStore
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        slots_per_collector=1 << 10, num_collectors=2, redundancy=2, value_bytes=8
+    )
+    defaults.update(kwargs)
+    return DartConfig(**defaults)
+
+
+class TestCollector:
+    def test_construction_and_endpoint(self):
+        config = small_config()
+        collector = Collector(config, collector_id=1)
+        endpoint = collector.endpoint
+        assert endpoint.collector_id == 1
+        assert endpoint.qp_number == 0x101
+        assert endpoint.rkey == 0x1001
+        assert endpoint.base_address == 0x100000
+        assert endpoint.sram_bytes == 25
+
+    def test_collector_id_validated(self):
+        with pytest.raises(ValueError):
+            Collector(small_config(num_collectors=2), collector_id=2)
+
+    def test_slot_read_write(self):
+        config = small_config()
+        collector = Collector(config, 0)
+        payload = b"\x01" * config.slot_bytes
+        collector.write_slot(5, payload)
+        assert collector.read_slot(5) == payload
+        assert collector.read_slot(6) == b"\x00" * config.slot_bytes
+
+    def test_slot_bounds_validated(self):
+        config = small_config(slots_per_collector=16)
+        collector = Collector(config, 0)
+        with pytest.raises(ValueError):
+            collector.read_slot(16)
+        with pytest.raises(ValueError):
+            collector.write_slot(-1, b"\x00" * config.slot_bytes)
+        with pytest.raises(ValueError):
+            collector.write_slot(0, b"\x00")  # wrong size
+
+    def test_clear(self):
+        config = small_config()
+        collector = Collector(config, 0)
+        collector.write_slot(0, b"\xff" * config.slot_bytes)
+        collector.clear()
+        assert collector.read_slot(0) == b"\x00" * config.slot_bytes
+
+
+class TestCollectorCluster:
+    def test_fleet_size_and_iteration(self):
+        cluster = CollectorCluster(small_config(num_collectors=3))
+        assert len(cluster) == 3
+        assert [c.collector_id for c in cluster] == [0, 1, 2]
+        assert cluster[2].collector_id == 2
+
+    def test_endpoints_table(self):
+        cluster = CollectorCluster(small_config(num_collectors=3))
+        endpoints = cluster.endpoints()
+        assert set(endpoints) == {0, 1, 2}
+        assert len({e.ip for e in endpoints.values()}) == 3
+
+    def test_total_memory(self):
+        config = small_config(slots_per_collector=100, num_collectors=2)
+        cluster = CollectorCluster(config)
+        assert cluster.total_memory_bytes() == 2 * 100 * config.slot_bytes
+
+
+class TestDartStore:
+    def test_put_get_roundtrip(self):
+        store = DartStore(small_config())
+        assert store.put(b"flow-1", b"value-1") == 2
+        result = store.get(b"flow-1")
+        assert result.answered
+        assert result.value == b"value-1\x00"
+
+    def test_get_value_none_on_miss(self):
+        store = DartStore(small_config())
+        assert store.get_value(b"missing") is None
+
+    def test_tuple_keys(self):
+        store = DartStore(small_config())
+        five_tuple = ("10.0.0.1", "10.0.0.2", 5000, 80, 6)
+        store.put(five_tuple, b"trace")
+        assert store.get(five_tuple).answered
+
+    def test_policy_override(self):
+        store = DartStore(small_config(), policy=ReturnPolicy.PLURALITY)
+        store.put(b"k", b"v")
+        assert store.get(b"k", policy=ReturnPolicy.CONSENSUS_2).answered
+
+    def test_counters_and_load_factor(self):
+        store = DartStore(small_config())
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.get(b"a")
+        assert store.puts == 2 and store.gets == 1
+        assert store.load_factor() == 2 / 2048
+        assert store.load_factor(live_keys=100) == 100 / 2048
+
+    def test_memory_bytes(self):
+        config = small_config()
+        store = DartStore(config)
+        assert store.memory_bytes == config.total_slots * config.slot_bytes
+
+    def test_clear(self):
+        store = DartStore(small_config())
+        store.put(b"k", b"v")
+        store.clear()
+        assert store.get(b"k").outcome is QueryOutcome.EMPTY
+
+    def test_packet_level_mode_equivalent(self):
+        """Packet-level writes yield byte-identical state to in-process."""
+        config = small_config(num_collectors=1)
+        fast = DartStore(config)
+        wire = DartStore(config, packet_level=True)
+        for i in range(50):
+            key = ("flow", i)
+            value = i.to_bytes(8, "big")
+            fast.put(key, value)
+            assert wire.put(key, value) == 2
+        assert (
+            fast.cluster[0].region.snapshot() == wire.cluster[0].region.snapshot()
+        )
+
+    def test_packet_level_queryable(self):
+        store = DartStore(small_config(), packet_level=True)
+        store.put(b"k", b"v")
+        assert store.get(b"k").answered
+
+
+class TestCounterStore:
+    def test_single_row_counts(self):
+        counters = CounterStore(cells_per_row=1 << 12, rows=1)
+        for _ in range(5):
+            counters.add(b"flow-a")
+        counters.add(b"flow-b", amount=3)
+        assert counters.estimate(b"flow-a") == 5
+        assert counters.estimate(b"flow-b") == 3
+        assert counters.estimate(b"flow-never") == 0
+        assert counters.total_adds() == 6
+
+    def test_count_min_multiple_rows(self):
+        counters = CounterStore(cells_per_row=1 << 10, rows=3)
+        counters.add(b"x", amount=7)
+        assert counters.estimate(b"x") == 7
+        assert counters.total_adds() == 3  # one FETCH_ADD per row
+
+    def test_estimates_are_upper_bounds(self):
+        """Collisions can only inflate counts, never deflate them."""
+        counters = CounterStore(cells_per_row=8, rows=2)  # force collisions
+        truth = {}
+        for i in range(50):
+            key = ("flow", i % 10)
+            counters.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert counters.estimate(key) >= count
+
+    def test_aggregation_across_switches(self):
+        """Atomic adds from different reporters commute (sketch merging)."""
+        counters = CounterStore(cells_per_row=1 << 10, rows=2)
+        # Two 'switches' crafting frames independently.
+        frames = counters.craft_add_frames(b"flow", 2) + counters.craft_add_frames(
+            b"flow", 3
+        )
+        for frame in frames:
+            assert counters.nic.receive_frame(frame)
+        assert counters.estimate(b"flow") == 5
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CounterStore(cells_per_row=0)
+        with pytest.raises(ValueError):
+            CounterStore(rows=0)
+        with pytest.raises(ValueError):
+            CounterStore().craft_add_frames(b"k", amount=-1)
+
+
+class TestEpochs:
+    def test_rotation_archives_and_clears(self):
+        config = small_config(num_collectors=1)
+        cluster = CollectorCluster(config)
+        archive = EpochArchive(config)
+        manager = EpochManager(list(cluster), archive, reports_per_epoch=2)
+
+        store = DartStore(config)
+        store.cluster = cluster  # share the collectors
+        store.client._reader = cluster.read_slot
+
+        cluster[0].write_slot(0, b"\xaa" * config.slot_bytes)
+        assert manager.note_report() is None
+        assert manager.note_report() == 0  # boundary crossed, epoch 0 archived
+        assert manager.current_epoch == 1
+        assert cluster[0].read_slot(0) == b"\x00" * config.slot_bytes
+        assert archive.epochs() == [0]
+
+    def test_historical_query_against_archive(self):
+        config = small_config(num_collectors=1)
+        cluster = CollectorCluster(config)
+        archive = EpochArchive(config)
+        manager = EpochManager(list(cluster), archive, reports_per_epoch=10)
+
+        from repro.core.reporter import DartReporter
+
+        reporter = DartReporter(config)
+        for write in reporter.writes_for(b"old-flow", b"old-path"):
+            cluster[write.collector_id].write_slot(write.slot_index, write.payload)
+        manager.rotate()
+
+        # Live region is now empty; the archive still answers.
+        result = archive.query(0, b"old-flow")
+        assert result.answered
+        assert result.value == b"old-path"
+
+    def test_disk_backed_archive(self, tmp_path):
+        config = small_config(num_collectors=1)
+        archive = EpochArchive(config, directory=tmp_path)
+        image = bytes(config.region_bytes)
+        archive.store(3, 0, image)
+        assert archive.load(3, 0) == image
+        assert archive.epochs() == [3]
+        with pytest.raises(KeyError):
+            archive.load(4, 0)
+
+    def test_memory_archive_missing_epoch(self):
+        archive = EpochArchive(small_config())
+        with pytest.raises(KeyError):
+            archive.load(0, 0)
+
+    def test_invalid_manager(self):
+        config = small_config()
+        with pytest.raises(ValueError):
+            EpochManager([], EpochArchive(config), reports_per_epoch=0)
+        manager = EpochManager([], EpochArchive(config), reports_per_epoch=5)
+        with pytest.raises(ValueError):
+            manager.note_report(-1)

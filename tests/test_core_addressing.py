@@ -1,0 +1,144 @@
+"""Tests for stateless global addressing (repro.core.addressing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.addressing import DartAddressing
+from repro.core.config import DartConfig
+
+key_strategy = st.one_of(
+    st.binary(min_size=1, max_size=16),
+    st.integers(min_value=0, max_value=2**64),
+    st.tuples(st.integers(min_value=0, max_value=2**32), st.integers(0, 65535)),
+)
+
+
+def make_addressing(**kwargs):
+    defaults = dict(slots_per_collector=1 << 12, num_collectors=4, redundancy=3)
+    defaults.update(kwargs)
+    return DartAddressing(DartConfig(**defaults))
+
+
+class TestGlobalAgreement:
+    """The coordination-free property: all parties compute the same map."""
+
+    @given(key=key_strategy)
+    def test_independent_instances_agree(self, key):
+        a = make_addressing()
+        b = make_addressing()
+        assert a.collector_of(key) == b.collector_of(key)
+        assert a.checksum_of(key) == b.checksum_of(key)
+        for n in range(3):
+            assert a.slot_index(key, n) == b.slot_index(key, n)
+
+    def test_different_seed_changes_mapping(self):
+        a = make_addressing(seed=1)
+        b = make_addressing(seed=2)
+        moved = sum(
+            a.slot_index(i, 0) != b.slot_index(i, 0) for i in range(100)
+        )
+        assert moved > 90
+
+
+class TestBounds:
+    @given(key=key_strategy)
+    def test_collector_in_range(self, key):
+        addressing = make_addressing()
+        assert 0 <= addressing.collector_of(key) < 4
+
+    @given(key=key_strategy)
+    def test_slots_in_range(self, key):
+        addressing = make_addressing()
+        for n in range(3):
+            assert 0 <= addressing.slot_index(key, n) < (1 << 12)
+
+    def test_copy_index_out_of_range_rejected(self):
+        addressing = make_addressing(redundancy=2)
+        with pytest.raises(ValueError):
+            addressing.slot_index(b"key", 2)
+        with pytest.raises(ValueError):
+            addressing.slot_index(b"key", -1)
+
+
+class TestLocate:
+    def test_all_copies_on_same_collector(self):
+        """Paper section 3.1: duplicates of any key stay on one collector."""
+        addressing = make_addressing()
+        for i in range(200):
+            locations = addressing.locate(("flow", i))
+            collectors = {loc.collector_id for loc in locations}
+            assert len(collectors) == 1
+
+    def test_locate_structure(self):
+        addressing = make_addressing(redundancy=3)
+        locations = addressing.locate(b"key")
+        assert [loc.copy_index for loc in locations] == [0, 1, 2]
+        assert all(
+            loc.slot_index == addressing.slot_index(b"key", loc.copy_index)
+            for loc in locations
+        )
+
+    def test_copies_usually_distinct_slots(self):
+        """Independent hashes rarely collide in a 4096-slot region."""
+        addressing = make_addressing(redundancy=2)
+        collisions = sum(
+            addressing.slot_index(i, 0) == addressing.slot_index(i, 1)
+            for i in range(1000)
+        )
+        assert collisions < 10  # expected ~1000/4096 < 1
+
+
+class TestSlotAddress:
+    def test_address_arithmetic(self):
+        addressing = make_addressing()
+        slot_bytes = addressing.config.slot_bytes
+        assert addressing.slot_address(0x1000, 0) == 0x1000
+        assert addressing.slot_address(0x1000, 5) == 0x1000 + 5 * slot_bytes
+
+    def test_out_of_region_rejected(self):
+        addressing = make_addressing(slots_per_collector=16)
+        with pytest.raises(ValueError):
+            addressing.slot_address(0x1000, 16)
+
+
+class TestDistribution:
+    def test_collector_selection_balanced(self):
+        addressing = make_addressing(num_collectors=8)
+        counts = np.bincount(
+            [addressing.collector_of(i) for i in range(8000)], minlength=8
+        )
+        expected = 1000
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 30  # chi2(7) 99.9th percentile ~24; allow slack
+
+    def test_slot_distribution_uniform(self):
+        addressing = make_addressing(slots_per_collector=64, num_collectors=1)
+        counts = np.bincount(
+            [addressing.slot_index(i, 0) for i in range(64000)], minlength=64
+        )
+        expected = 1000
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 120
+
+
+class TestVectorised:
+    def test_matches_scalar_distribution_bounds(self):
+        addressing = make_addressing()
+        keys = np.arange(10000, dtype=np.uint64)
+        collectors = addressing.collectors_of_array(keys)
+        slots = addressing.slot_indexes_array(keys, 1)
+        checksums = addressing.checksums_array(keys)
+        assert int(collectors.max()) < 4
+        assert int(slots.max()) < (1 << 12)
+        assert int(checksums.max()) < (1 << 32)
+
+    def test_copy_index_validated(self):
+        addressing = make_addressing(redundancy=2)
+        with pytest.raises(ValueError):
+            addressing.slot_indexes_array(np.arange(4, dtype=np.uint64), 2)
+
+    def test_equality(self):
+        assert make_addressing() == make_addressing()
+        assert make_addressing(seed=1) != make_addressing(seed=2)

@@ -1,0 +1,182 @@
+"""Tests for the section-4 closed forms (repro.core.theory)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import theory
+
+alphas = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+redundancies = st.integers(min_value=1, max_value=8)
+checksum_widths = st.integers(min_value=1, max_value=62)
+
+
+class TestBasicForms:
+    def test_slot_overwrite_probability(self):
+        assert theory.p_slot_overwritten(0.0, 2) == 0.0
+        assert theory.p_slot_overwritten(1.0, 1) == pytest.approx(1 - math.exp(-1))
+        assert theory.p_slot_overwritten(1.0, 2) == pytest.approx(1 - math.exp(-2))
+
+    def test_all_copies_overwritten(self):
+        expected = (1 - math.exp(-2)) ** 2
+        assert theory.p_all_copies_overwritten(1.0, 2) == pytest.approx(expected)
+
+    def test_queryability_complements(self):
+        assert theory.queryability(0.0, 3) == 1.0
+        total = theory.queryability(1.5, 2) + theory.p_all_copies_overwritten(1.5, 2)
+        assert total == pytest.approx(1.0)
+
+    def test_paper_figure4_oldest_report_anchor(self):
+        """Paper: oldest reports at 3 GB predicted ~38.7% queryable.
+
+        3 GB / 24-byte slots with 100 M flows is alpha in [0.745, 0.80]
+        depending on the GB convention; the closed form must bracket the
+        paper's 38.7% in that range.
+        """
+        low = theory.queryability(0.80, 2)  # GB = 1e9
+        high = theory.queryability(0.745, 2)  # GB = 2^30
+        assert low < 0.387 < high
+
+    def test_vectorised_alpha(self):
+        values = theory.queryability(np.array([0.0, 0.5, 1.0]), 2)
+        assert values.shape == (3,)
+        assert values[0] == 1.0
+        assert np.all(np.diff(values) < 0)
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: theory.p_slot_overwritten(-0.1, 2),
+            lambda: theory.p_slot_overwritten(1.0, 0),
+            lambda: theory.empty_return_probability(1.0, 2, 0),
+            lambda: theory.empty_return_probability(1.0, 2, 65),
+        ],
+    )
+    def test_validation(self, call):
+        with pytest.raises(ValueError):
+            call()
+
+
+class TestEmptyReturn:
+    def test_simple_formula(self):
+        alpha, n, b = 1.0, 2, 8
+        expected = (1 - math.exp(-2)) ** 2 * (1 - 2**-8) ** 2
+        assert theory.empty_return_probability(alpha, n, b) == pytest.approx(expected)
+
+    @given(alpha=alphas, n=redundancies, b=checksum_widths)
+    def test_bounded_by_all_overwritten(self, alpha, n, b):
+        empty = theory.empty_return_probability(alpha, n, b)
+        assert 0.0 <= empty <= theory.p_all_copies_overwritten(alpha, n) + 1e-12
+
+    @given(alpha=alphas, n=redundancies, b=checksum_widths)
+    def test_ambiguity_bounds_ordered(self, alpha, n, b):
+        lower, upper = theory.empty_return_ambiguity_bounds(alpha, n, b)
+        assert -1e-12 <= lower <= upper + 1e-12
+        assert upper <= 1.0
+
+    def test_ambiguity_zero_for_n1(self):
+        """With N=1 there is no multi-value ambiguity."""
+        lower, upper_extra = theory.empty_return_ambiguity_bounds(1.0, 1, 8)
+        assert lower == 0.0
+
+
+class TestReturnError:
+    @given(alpha=alphas, n=redundancies, b=checksum_widths)
+    def test_bounds_ordered_and_probabilities(self, alpha, n, b):
+        lower, upper = theory.return_error_bounds(alpha, n, b)
+        assert -1e-15 <= lower <= upper + 1e-15
+        assert upper <= 1.0
+
+    def test_wider_checksum_reduces_error(self):
+        """Figure 5's main message: longer checksums, fewer errors."""
+        _, err8 = theory.return_error_bounds(2.0, 2, 8)
+        _, err16 = theory.return_error_bounds(2.0, 2, 16)
+        _, err32 = theory.return_error_bounds(2.0, 2, 32)
+        assert err8 > err16 > err32
+        assert err32 < 1e-8  # 32-bit checksums make errors negligible
+
+    def test_lower_bound_formula(self):
+        alpha, n, b = 2.0, 2, 8
+        all_over = (1 - math.exp(-4)) ** 2
+        expected = all_over * 2 * 2**-8 * (1 - 2**-8)
+        lower, _ = theory.return_error_bounds(alpha, n, b)
+        assert lower == pytest.approx(expected)
+
+
+class TestAverageQueryability:
+    def test_zero_load_is_perfect(self):
+        assert theory.average_queryability(0.0, 2) == pytest.approx(1.0)
+
+    def test_matches_numerical_integration(self):
+        """Closed form equals the integral of per-age queryability."""
+        from scipy.integrate import quad
+
+        for alpha in (0.2, 0.8, 2.0):
+            for n in (1, 2, 4):
+                numeric, _ = quad(
+                    lambda t: theory.queryability(alpha * t, n), 0, 1
+                )
+                closed = theory.average_queryability(alpha, n)
+                assert closed == pytest.approx(numeric, abs=1e-9)
+
+    def test_paper_figure4_average_anchor(self):
+        """Paper: 71.4% average queryability at 3 GB for 100 M flows."""
+        low = theory.average_queryability(0.80, 2)
+        high = theory.average_queryability(0.745, 2)
+        assert low < 0.714 < high + 0.01
+
+    def test_paper_figure4_30gb_anchors(self):
+        """Paper: 99.3% at 30 GB (N=2); 99.9% with N=4."""
+        assert theory.average_queryability(0.08, 2) == pytest.approx(0.993, abs=0.002)
+        assert theory.average_queryability(0.08, 4) == pytest.approx(0.999, abs=0.0005)
+
+    @given(alpha=st.floats(min_value=0.01, max_value=5.0), n=redundancies)
+    def test_average_above_oldest(self, alpha, n):
+        """The average over ages always beats the oldest key's odds."""
+        assert theory.average_queryability(alpha, n) >= theory.queryability(
+            alpha, n
+        ) - 1e-12
+
+    def test_monotone_decreasing_in_load(self):
+        values = theory.average_queryability(np.linspace(0.01, 3, 50), 2)
+        assert np.all(np.diff(values) < 0)
+
+
+class TestOptimalRedundancy:
+    def test_light_load_prefers_more_copies(self):
+        assert theory.optimal_redundancy(0.02) >= 4
+
+    def test_heavy_load_prefers_single_copy(self):
+        assert theory.optimal_redundancy(3.0) == 1
+
+    def test_moderate_load_prefers_two(self):
+        """The paper's N=2 sweet spot appears at moderate loads."""
+        assert theory.optimal_redundancy(0.7, candidates=(1, 2, 3, 4, 8)) == 2
+
+    def test_bands_monotone_nonincreasing(self):
+        """Optimal N never increases as load grows."""
+        bands = theory.optimal_redundancy_bands(np.linspace(0.05, 3, 60))
+        ns = [n for _, n in bands]
+        assert all(a >= b for a, b in zip(ns, ns[1:]))
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            theory.optimal_redundancy(1.0, candidates=())
+
+
+class TestHelpers:
+    def test_age_to_alpha(self):
+        assert theory.age_to_alpha(100, 1000) == 0.1
+        with pytest.raises(ValueError):
+            theory.age_to_alpha(-1, 10)
+        with pytest.raises(ValueError):
+            theory.age_to_alpha(1, 0)
+
+    @given(alpha=alphas, n=redundancies, b=st.integers(min_value=8, max_value=62))
+    def test_success_probability_in_range(self, alpha, n, b):
+        p = theory.success_probability(alpha, n, b)
+        assert 0.0 <= p <= 1.0
+        assert p <= theory.queryability(alpha, n) + 1e-12

@@ -1,0 +1,64 @@
+"""Tests for the section-5.2.1 epoch-strategy experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.epoch_strategies import (
+    continuous_age_curve,
+    rotated_age_curve,
+    strategy_rows,
+)
+
+
+class TestCurves:
+    def test_continuous_decays_with_age(self):
+        curve = continuous_age_curve(100_000, 1 << 15, buckets=5)
+        assert curve[0] < curve[-1]
+
+    def test_rotated_is_age_uniform_with_archive(self):
+        """Archived epochs freeze survival: old keys are as retrievable as
+        the epoch they lived in allowed, forever."""
+        curve = rotated_age_curve(
+            200_000, 1 << 16, epoch_keys=25_000, buckets=8, with_archive=True
+        )
+        spread = max(curve) - min(curve)
+        assert spread < 0.05
+
+    def test_no_archive_loses_old_epochs(self):
+        curve = rotated_age_curve(
+            200_000, 1 << 16, epoch_keys=25_000, buckets=8, with_archive=False
+        )
+        assert curve[0] == 0.0  # oldest epochs cleared from DRAM
+        assert curve[-1] > 0.5  # recent epochs still live
+
+    def test_partial_current_epoch_handled(self):
+        curve = rotated_age_curve(
+            110_000, 1 << 16, epoch_keys=25_000, buckets=11
+        )
+        assert not any(math.isnan(v) for v in curve)
+        assert curve[-1] > 0.9  # freshest keys barely aged
+
+    def test_epoch_keys_validated(self):
+        with pytest.raises(ValueError):
+            rotated_age_curve(100, 64, epoch_keys=0, buckets=2)
+
+
+class TestStrategyRows:
+    def test_the_section_521_trade(self):
+        rows = strategy_rows(
+            num_keys=200_000, num_slots=1 << 16, epoch_keys=25_000, buckets=8
+        )
+        mean = rows[-1]
+        assert mean["age_bucket"] == "MEAN"
+        # Rotation + archive dominates on average at this history depth...
+        assert mean["rotate_archive"] > mean["continuous"]
+        assert mean["rotate_archive"] > mean["rotate_no_archive"]
+        # ...but continuous wins for the very freshest keys (it has twice
+        # the live slots).
+        freshest = rows[-2]
+        assert freshest["continuous"] > freshest["rotate_archive"]
+        # And continuous loses old data almost entirely.
+        oldest = rows[0]
+        assert oldest["continuous"] < 0.1
+        assert oldest["rotate_archive"] > 0.5

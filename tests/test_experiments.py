@@ -1,0 +1,172 @@
+"""Unit tests for the experiment harnesses (repro.experiments.*).
+
+The benchmarks assert the paper-shape claims at full parameters; these
+tests pin the row structures and basic invariants at small parameters so
+``pytest tests/`` alone exercises every harness.
+"""
+
+import pytest
+
+from repro.experiments import ablations, fig1, fig3, fig4, fig5, headline, prototype, table1
+from repro.experiments.reporting import format_table, print_experiment
+from repro.experiments.resilience import resilience_rows
+
+
+class TestReporting:
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_alignment_and_columns(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 22, "b": float("nan")}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "nan" in text
+        custom = format_table(rows, columns=["b"])
+        assert "a" not in custom.splitlines()[0]
+
+    def test_small_float_scientific(self):
+        text = format_table([{"p": 1.5e-9}])
+        assert "e-09" in text
+
+    def test_print_experiment(self, capsys):
+        print_experiment("Title", [{"x": 1}])
+        out = capsys.readouterr().out
+        assert "Title" in out and "x" in out
+
+
+class TestFig1:
+    def test_fig1a_rows(self):
+        rows = fig1.figure1a_rows(switch_counts=(100,), report_sizes=(64,))
+        assert len(rows) == 1
+        assert rows[0]["dpdk_io_cores"] >= 1
+        assert rows[0]["dart_cores"] == 0
+
+    def test_fig1b_rows(self):
+        rows = fig1.figure1b_rows(reports=1_000_000)
+        stacks = {r["stack"] for r in rows}
+        assert "DART (zero-CPU)" in stacks
+        assert all(r["total_gcycles"] >= 0 for r in rows)
+
+    def test_functional_validation(self):
+        rows = fig1.figure1b_functional_validation(sample_reports=200)
+        assert len(rows) == 2
+        with pytest.raises(ValueError):
+            fig1.figure1b_functional_validation(sample_reports=0)
+
+
+class TestFig3:
+    def test_rows_structure(self):
+        rows = fig3.figure3_rows(
+            loads=(0.5,), redundancies=(1, 2), num_slots=1 << 12
+        )
+        assert len(rows) == 2
+        assert all("optimal_n" in r for r in rows)
+        assert rows[0]["optimal_n"] == rows[1]["optimal_n"]
+
+    def test_band_rows(self):
+        rows = fig3.optimal_band_rows(loads=(0.05, 3.0))
+        assert rows[0]["optimal_n"] >= rows[-1]["optimal_n"]
+
+    def test_n2_improvement(self):
+        rows = fig3.n2_improvement_over_n1(loads=(0.25,), num_slots=1 << 12)
+        assert rows[0]["n2_gain"] > 0
+
+
+class TestFig4:
+    def test_summary_rows(self):
+        rows = fig4.figure4_summary(storage_gb=(3,), scale=200)
+        assert {r["redundancy_n"] for r in rows} == {2, 4}
+        for row in rows:
+            assert row["avg_success_sim"] == pytest.approx(
+                row["avg_success_theory"], abs=0.02
+            )
+
+    def test_aging_rows(self):
+        rows = fig4.figure4_rows(storage_gb=(3,), scale=200, age_buckets=5)
+        assert len(rows) == 5
+        assert rows[0]["success_simulated"] < rows[-1]["success_simulated"]
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            fig4.figure4_rows(scale=0)
+
+    def test_scale_invariance(self):
+        rows = fig4.scale_invariance_rows(scales=(400, 200))
+        rates = [r["avg_success"] for r in rows]
+        assert abs(rates[0] - rates[1]) < 0.02
+
+
+class TestFig5:
+    def test_rows_structure(self):
+        rows = fig5.figure5_rows(
+            checksum_bits=(8,), loads=(1.0,), num_slots=1 << 14
+        )
+        assert len(rows) == 1
+        assert rows[0]["error_rate_simulated"] <= rows[0][
+            "theory_upper_bound_oldest"
+        ] * 1.5 + 1e-4
+
+    def test_scaling_fit_requires_data(self):
+        with pytest.raises(ValueError):
+            fig5.verify_2exp_scaling([{"checksum_bits": 8, "error_rate": 0.0}])
+
+
+class TestTable1AndHeadline:
+    def test_table1_all_roundtrip(self):
+        rows = table1.table1_rows()
+        assert len(rows) == 6
+        assert all(r["roundtrip_ok"] for r in rows)
+
+    def test_headline_statistical_small(self):
+        rows = headline.headline_statistical_rows(num_flows=50_000)
+        by = {r["redundancy_n"]: r for r in rows}
+        assert by[4]["success_rate"] > by[1]["success_rate"]
+
+    def test_memory_sizing_validation(self):
+        with pytest.raises(ValueError):
+            headline.memory_for_target_success(target=1.5)
+
+
+class TestPrototypeAndAblations:
+    def test_prototype_resources(self):
+        rows = prototype.prototype_resource_rows(collector_counts=(10,))
+        assert rows[0]["sram_bytes_per_collector"] > 0
+
+    def test_prototype_pipeline_small(self):
+        rows = prototype.prototype_pipeline_rows(reports=50)
+        assert rows[0]["frames_executed"] == rows[0]["frames_emitted"]
+
+    def test_cas_rows(self):
+        rows = ablations.cas_strategy_rows(loads=(1.0,), num_slots=1 << 13)
+        assert rows[0]["cas_gain"] > 0
+
+    def test_return_policy_rows(self):
+        rows = ablations.return_policy_rows(num_slots=1 << 13)
+        assert len(rows) == 4
+
+    def test_dynamic_n_rows(self):
+        rows = ablations.dynamic_n_rows(
+            load_ramp=(0.1, 2.0), candidates=(1, 2), num_slots=1 << 12
+        )
+        assert rows[-1]["load_factor"] == "MEAN"
+
+    def test_fetch_add_rows(self):
+        rows = ablations.fetch_add_rows(num_flows=50)
+        assert rows[0]["underestimates"] == 0
+
+    def test_update_heavy_rows(self):
+        rows = ablations.update_heavy_rows(
+            distinct_flows=100, reports_per_flow=5, num_slots=1 << 10
+        )
+        by = {r["system"]: r for r in rows}
+        assert by["DART"]["collector_cpu_cycles"] == 0
+        assert by["DPDK + Confluo (log)"]["collector_cpu_cycles"] > 0
+
+    def test_placement_rows(self):
+        rows = ablations.placement_rows(num_slots_total=1 << 12)
+        assert {r["placement"] for r in rows} == {"single-collector", "spread"}
+
+    def test_resilience_rows_structure(self):
+        rows = resilience_rows(num_collectors=8, failures=(1,), num_keys=20_000)
+        assert rows[0]["unreadable_spread"] <= rows[0]["unreadable_single"]

@@ -1,0 +1,395 @@
+"""Tests for the P4 IR: types, expressions, parser, controls, deparser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.switch.externs import RegisterArray
+from repro.switch.p4.actions import (
+    Action,
+    BuildPayload,
+    Drop,
+    RegisterReadIncrement,
+    SetField,
+    SetMeta,
+    SetValid,
+)
+from repro.switch.p4.control import Apply, Control, ControlError, IfValid, Run
+from repro.switch.p4.deparser import Deparser
+from repro.switch.p4.expr import (
+    BinOp,
+    ChecksumOf,
+    Const,
+    ExternBindings,
+    Field,
+    HashOf,
+    Meta,
+    Param,
+    as_expr,
+)
+from repro.switch.p4.interpreter import P4Program
+from repro.switch.p4.parser import (
+    ExtractFixed,
+    ExtractRest,
+    ExtractVar,
+    P4Parser,
+    ParserError,
+    ParserState,
+)
+from repro.switch.p4.types import Header, HeaderType, Phv
+from repro.switch.pipeline import MatchActionTable, MatchKind, TableEntry
+from repro.hashing.checksum import KeyChecksum
+from repro.hashing.hash_family import HashFamily
+
+SIMPLE = HeaderType("simple", (("a", 8), ("b", 16), ("c", 8)))
+ODD = HeaderType("odd", (("x", 4), ("y", 12)))
+
+
+def make_externs(registers=None):
+    return ExternBindings(
+        hash_family=HashFamily(seed=1),
+        key_checksum=KeyChecksum(bits=16, family=HashFamily(seed=1)),
+        registers=registers or {},
+    )
+
+
+class TestHeaderTypes:
+    def test_sizes(self):
+        assert SIMPLE.total_bits == 32
+        assert SIMPLE.total_bytes == 4
+        assert ODD.total_bytes == 2
+
+    def test_non_byte_aligned_rejected(self):
+        with pytest.raises(ValueError, match="byte-aligned"):
+            HeaderType("bad", (("x", 7),))
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HeaderType("bad", (("x", 8), ("x", 8)))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderType("bad", (("x", 0), ("y", 8)))
+
+    def test_field_bits_lookup(self):
+        assert SIMPLE.field_bits("b") == 16
+        with pytest.raises(KeyError):
+            SIMPLE.field_bits("zz")
+
+
+class TestHeaderInstances:
+    def test_pack_unpack_roundtrip(self):
+        header = Header(SIMPLE)
+        header.set("a", 0x12)
+        header.set("b", 0x3456)
+        header.set("c", 0x78)
+        assert header.pack() == b"\x12\x34\x56\x78"
+        other = Header(SIMPLE)
+        other.unpack(b"\x12\x34\x56\x78")
+        assert other.get("b") == 0x3456
+        assert other.valid
+
+    def test_sub_byte_fields(self):
+        header = Header(ODD)
+        header.set("x", 0xA)
+        header.set("y", 0xBCD)
+        assert header.pack() == b"\xab\xcd"
+
+    def test_set_masks_to_width(self):
+        header = Header(SIMPLE)
+        header.set("a", 0x1FF)
+        assert header.get("a") == 0xFF
+
+    def test_unpack_truncated(self):
+        with pytest.raises(ValueError):
+            Header(SIMPLE).unpack(b"\x00")
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            Header(SIMPLE).get("zz")
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 65535), c=st.integers(0, 255))
+    def test_roundtrip_property(self, a, b, c):
+        header = Header(SIMPLE)
+        header.set("a", a)
+        header.set("b", b)
+        header.set("c", c)
+        decoded = Header(SIMPLE)
+        decoded.unpack(header.pack())
+        assert (decoded.get("a"), decoded.get("b"), decoded.get("c")) == (a, b, c)
+
+
+class TestExpressions:
+    def phv(self):
+        phv = Phv([SIMPLE])
+        phv.header("simple").set("b", 40)
+        phv.set_meta("m", 7)
+        phv.blobs["key"] = b"the-key"
+        return phv
+
+    def test_const_meta_field(self):
+        phv = self.phv()
+        externs = make_externs()
+        assert Const(5).evaluate(phv, externs, {}) == 5
+        assert Meta("m").evaluate(phv, externs, {}) == 7
+        assert Field("simple", "b").evaluate(phv, externs, {}) == 40
+
+    def test_param(self):
+        phv = self.phv()
+        assert Param("p").evaluate(phv, make_externs(), {"p": 9}) == 9
+        with pytest.raises(KeyError):
+            Param("q").evaluate(phv, make_externs(), {})
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 47), ("-", 33), ("*", 280), ("%", 5), ("&", 0), ("|", 47),
+         ("^", 47), ("<<", 5120), (">>", 0)],
+    )
+    def test_binop(self, op, expected):
+        phv = self.phv()
+        expr = BinOp(op, Meta("m") if op == ">>" else Field("simple", "b"),
+                     Meta("m"))
+        if op == ">>":
+            expr = BinOp(op, Meta("m"), Const(7))
+            expected = 0
+        assert expr.evaluate(phv, make_externs(), {}) == expected
+
+    def test_binop_unknown_op(self):
+        with pytest.raises(ValueError):
+            BinOp("//", Const(1), Const(2))
+
+    def test_hash_matches_family(self):
+        phv = self.phv()
+        externs = make_externs()
+        value = HashOf("key", Const(3), Const(97)).evaluate(phv, externs, {})
+        assert value == HashFamily(seed=1).hash_key_mod(b"the-key", 3, 97)
+
+    def test_checksum_matches(self):
+        phv = self.phv()
+        externs = make_externs()
+        value = ChecksumOf("key").evaluate(phv, externs, {})
+        assert value == KeyChecksum(16, HashFamily(seed=1)).compute(b"the-key")
+
+    def test_missing_blob(self):
+        phv = Phv([SIMPLE])
+        with pytest.raises(KeyError):
+            HashOf("key", Const(0), Const(10)).evaluate(phv, make_externs(), {})
+
+    def test_as_expr(self):
+        assert as_expr(5) == Const(5)
+        assert as_expr(Const(5)) == Const(5)
+        with pytest.raises(TypeError):
+            as_expr("x")
+
+
+class TestParser:
+    def make_parser(self):
+        ethertype = HeaderType("outer", (("kind", 8), ("key_length", 8)))
+        return P4Parser(
+            header_types=[ethertype, SIMPLE],
+            states=[
+                ParserState(
+                    name="start",
+                    extractions=(ExtractFixed("outer"),),
+                    select=("outer", "kind"),
+                    transitions=((1, "parse_simple"), (2, "parse_blob")),
+                    default="reject",
+                ),
+                ParserState(
+                    name="parse_simple",
+                    extractions=(ExtractFixed("simple"), ExtractRest("")),
+                ),
+                ParserState(
+                    name="parse_blob",
+                    extractions=(
+                        ExtractVar("key", length_from=("outer", "key_length")),
+                        ExtractRest("value"),
+                    ),
+                ),
+            ],
+            start="start",
+        )
+
+    def test_fixed_path(self):
+        phv = self.make_parser().parse(b"\x01\x00" + b"\xaa\xbb\xcc\xdd" + b"rest")
+        assert phv.header("simple").valid
+        assert phv.header("simple").get("b") == 0xBBCC
+        assert phv.payload == b"rest"
+
+    def test_varbit_path(self):
+        phv = self.make_parser().parse(b"\x02\x03" + b"KEY" + b"VALUE")
+        assert phv.blobs["key"] == b"KEY"
+        assert phv.blobs["value"] == b"VALUE"
+        assert not phv.header("simple").valid
+
+    def test_reject_path(self):
+        with pytest.raises(ParserError, match="rejected"):
+            self.make_parser().parse(b"\x09\x00")
+
+    def test_truncated_fixed(self):
+        with pytest.raises(ParserError, match="truncated"):
+            self.make_parser().parse(b"\x01\x00\xaa")
+
+    def test_truncated_varbit(self):
+        with pytest.raises(ParserError, match="truncated"):
+            self.make_parser().parse(b"\x02\x09" + b"abc")
+
+    def test_duplicate_states_rejected(self):
+        state = ParserState(name="s")
+        with pytest.raises(ValueError):
+            P4Parser([SIMPLE], [state, state], start="s")
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(ValueError):
+            P4Parser([SIMPLE], [ParserState(name="s")], start="t")
+
+    def test_unknown_transition_target(self):
+        parser = P4Parser(
+            [SIMPLE],
+            [ParserState(name="s", default="nowhere")],
+            start="s",
+        )
+        with pytest.raises(ParserError, match="unknown state"):
+            parser.parse(b"")
+
+
+class TestActionsAndControl:
+    def test_set_field_and_meta(self):
+        phv = Phv([SIMPLE])
+        action = Action(
+            "a",
+            primitives=(
+                SetField("simple", "b", Const(0x1234)),
+                SetMeta("out", BinOp("+", Field("simple", "b"), Const(1))),
+            ),
+        )
+        action.execute(phv, make_externs(), {})
+        assert phv.header("simple").get("b") == 0x1234
+        assert phv.get_meta("out") == 0x1235
+
+    def test_set_valid(self):
+        phv = Phv([SIMPLE])
+        Action("a", primitives=(SetValid("simple"),)).execute(
+            phv, make_externs(), {}
+        )
+        assert phv.header("simple").valid
+
+    def test_missing_param_rejected(self):
+        action = Action("a", parameters=("x",), primitives=())
+        with pytest.raises(ValueError, match="missing arguments"):
+            action.execute(Phv([SIMPLE]), make_externs(), {})
+
+    def test_register_read_increment(self):
+        regs = RegisterArray(size=4, width_bits=32, name="ctr")
+        externs = make_externs({"ctr": regs})
+        phv = Phv([SIMPLE])
+        phv.set_meta("idx", 2)
+        primitive = RegisterReadIncrement("ctr", Meta("idx"), "psn")
+        primitive.execute(phv, externs, {})
+        primitive.execute(phv, externs, {})
+        assert phv.get_meta("psn") == 1
+        assert regs.read(2) == 2
+
+    def test_build_payload(self):
+        phv = Phv([SIMPLE])
+        phv.set_meta("ck", 0xABCD)
+        phv.blobs["value"] = b"xyz"
+        BuildPayload(
+            parts=((Meta("ck"), 2),), blob="value", pad_to=8
+        ).execute(phv, make_externs(), {})
+        assert phv.payload == b"\xab\xcdxyz\x00\x00\x00"
+
+    def test_build_payload_overflow(self):
+        phv = Phv([SIMPLE])
+        phv.blobs["value"] = b"0123456789"
+        with pytest.raises(ValueError, match="exceeds"):
+            BuildPayload(parts=(), blob="value", pad_to=4).execute(
+                phv, make_externs(), {}
+            )
+
+    def test_drop_stops_control(self):
+        phv = Phv([SIMPLE])
+        control = Control(
+            "c",
+            statements=(
+                Run(Action("d", primitives=(Drop(),))),
+                Run(Action("late", primitives=(SetMeta("x", Const(1)),))),
+            ),
+        )
+        control.execute(phv, make_externs())
+        assert phv.dropped
+        assert "x" not in phv.metadata
+
+    def test_table_apply_hit_and_miss(self):
+        table = MatchActionTable("t", [MatchKind.EXACT], max_entries=4)
+        table.add_entry(
+            TableEntry(match=(5,), action="set_b", params={"v": 77})
+        )
+        apply = Apply(
+            table=table,
+            keys=(Meta("k"),),
+            actions={
+                "set_b": Action(
+                    "set_b",
+                    parameters=("v",),
+                    primitives=(SetField("simple", "b", Param("v")),),
+                )
+            },
+        )
+        phv = Phv([SIMPLE])
+        phv.set_meta("k", 5)
+        apply.execute(phv, make_externs())
+        assert phv.header("simple").get("b") == 77
+        # Miss: no default -> no-op.
+        phv.set_meta("k", 6)
+        phv.header("simple").set("b", 1)
+        apply.execute(phv, make_externs())
+        assert phv.header("simple").get("b") == 1
+
+    def test_table_unknown_action_rejected(self):
+        table = MatchActionTable("t", [MatchKind.EXACT], max_entries=4)
+        table.add_entry(TableEntry(match=(1,), action="ghost"))
+        apply = Apply(table=table, keys=(Meta("k"),), actions={})
+        phv = Phv([SIMPLE])
+        phv.set_meta("k", 1)
+        with pytest.raises(ControlError, match="unknown action"):
+            apply.execute(phv, make_externs())
+
+    def test_if_valid_branches(self):
+        phv = Phv([SIMPLE])
+        statement = IfValid(
+            "simple",
+            then=(Run(Action("t", primitives=(SetMeta("hit", Const(1)),))),),
+            otherwise=(Run(Action("e", primitives=(SetMeta("hit", Const(0)),))),),
+        )
+        statement.execute(phv, make_externs())
+        assert phv.get_meta("hit") == 0
+        phv.header("simple").valid = True
+        statement.execute(phv, make_externs())
+        assert phv.get_meta("hit") == 1
+
+
+class TestDeparser:
+    def test_emits_valid_headers_in_order(self):
+        other = HeaderType("other", (("z", 8),))
+        phv = Phv([SIMPLE, other])
+        phv.header("simple").valid = True
+        phv.header("simple").set("b", 0x0102)
+        phv.header("other").valid = False
+        phv.payload = b"PP"
+        frame = Deparser(header_order=("other", "simple")).deparse(phv)
+        assert frame == b"\x00\x01\x02\x00PP"
+
+    def test_fixups_run_in_order(self):
+        phv = Phv([SIMPLE])
+        phv.payload = b"x"
+        deparser = Deparser(
+            header_order=(),
+            fixups=(lambda f, p: f + b"1", lambda f, p: f + b"2"),
+        )
+        assert deparser.deparse(phv) == b"x12"
+
+    def test_dropped_packet_emits_nothing(self):
+        phv = Phv([SIMPLE])
+        phv.dropped = True
+        assert Deparser(header_order=("simple",)).deparse(phv) == b""

@@ -1,0 +1,163 @@
+"""Tests for the INT header codecs and the packet-level INT network."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import DartConfig
+from repro.network.flows import FlowGenerator
+from repro.network.packet_sim import PacketLevelIntNetwork
+from repro.network.simulation import decode_path
+from repro.network.topology import FatTreeTopology
+from repro.telemetry.int_headers import (
+    IntDecodeError,
+    IntShim,
+    IntStack,
+    new_probe,
+)
+
+
+class TestIntShim:
+    def test_roundtrip(self):
+        shim = IntShim(hop_metadata_words=1, remaining_hops=5, stack_words=3)
+        assert IntShim.unpack(shim.pack()) == shim
+        assert len(shim.pack()) == 6
+
+    def test_bad_version_rejected(self):
+        corrupted = bytearray(IntShim().pack())
+        corrupted[0] = 9
+        with pytest.raises(IntDecodeError, match="version"):
+            IntShim.unpack(bytes(corrupted))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(IntDecodeError):
+            IntShim.unpack(b"\x02\x01")
+
+
+class TestIntStack:
+    def test_push_and_travel_order(self):
+        stack = new_probe(b"data", max_hops=5)
+        for switch_id in (10, 20, 30):
+            assert stack.push_hop(switch_id)
+        # Stack top holds the latest hop; travel order is reversed.
+        assert stack.hop_words == [30, 20, 10]
+        assert stack.travel_path() == [10, 20, 30]
+
+    def test_pack_unpack_roundtrip(self):
+        stack = new_probe(b"payload", max_hops=6)
+        stack.push_hop(7)
+        stack.push_hop(8)
+        decoded = IntStack.unpack(stack.pack())
+        assert decoded.travel_path() == [7, 8]
+        assert decoded.user_payload == b"payload"
+        assert decoded.shim.remaining_hops == 4
+
+    def test_budget_exhaustion(self):
+        stack = new_probe(max_hops=2)
+        assert stack.push_hop(1)
+        assert stack.push_hop(2)
+        assert not stack.push_hop(3)  # budget spent
+        assert stack.travel_path() == [1, 2]
+
+    def test_strip(self):
+        stack = new_probe(b"user", max_hops=4)
+        stack.push_hop(5)
+        path, payload = stack.strip()
+        assert path == [5]
+        assert payload == b"user"
+
+    def test_truncated_stack_rejected(self):
+        stack = new_probe(max_hops=4)
+        stack.push_hop(1)
+        wire = stack.pack()
+        with pytest.raises(IntDecodeError, match="stack"):
+            IntStack.unpack(wire[:7])
+
+    def test_probe_validation(self):
+        with pytest.raises(ValueError):
+            new_probe(max_hops=0)
+        with pytest.raises(ValueError):
+            new_probe(max_hops=300)
+
+    @given(
+        hops=st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=8),
+        payload=st.binary(max_size=32),
+    )
+    def test_roundtrip_property(self, hops, payload):
+        stack = new_probe(payload, max_hops=max(len(hops), 1))
+        recorded = [h for h in hops if stack.push_hop(h)]
+        decoded = IntStack.unpack(stack.pack())
+        assert decoded.travel_path() == recorded
+        assert decoded.user_payload == payload
+
+
+class TestPacketLevelNetwork:
+    @pytest.fixture(scope="class")
+    def network(self):
+        tree = FatTreeTopology(k=4)
+        config = DartConfig(slots_per_collector=1 << 12, num_collectors=2)
+        return PacketLevelIntNetwork(tree, config), tree
+
+    def test_packet_records_true_path(self, network):
+        net, tree = network
+        flow = FlowGenerator(tree.num_hosts, host_ip=tree.host_ip, seed=0).uniform(1)[0]
+        result = net.send(flow, b"hello")
+        expected = tree.path(flow.src_host, flow.dst_host, flow.five_tuple)
+        assert result.recorded_path == expected
+        assert result.delivered_payload == b"hello"
+        assert result.report_frames == net.config.redundancy
+
+    def test_path_queryable_after_delivery(self, network):
+        net, tree = network
+        flows = FlowGenerator(tree.num_hosts, host_ip=tree.host_ip, seed=1).uniform(40)
+        expectations = {}
+        for flow in flows:
+            result = net.send(flow)
+            expectations[flow.five_tuple] = result.recorded_path
+        for flow in flows:
+            query = net.query_path(flow)
+            assert query.answered
+            assert decode_path(query.value) == expectations[flow.five_tuple]
+
+    def test_cross_pod_is_five_hops(self, network):
+        net, tree = network
+        # hosts 0 and 15 are in different pods of a k=4 tree.
+        flow = FlowGenerator(tree.num_hosts, host_ip=tree.host_ip, seed=2).uniform(1)[0]
+        flow = type(flow)(
+            src_ip=tree.host_ip(0),
+            dst_ip=tree.host_ip(15),
+            src_port=40000,
+            dst_port=80,
+            protocol=6,
+            src_host=0,
+            dst_host=15,
+        )
+        result = net.send(flow)
+        assert len(result.recorded_path) == 5
+
+    def test_transit_counters(self, network):
+        net, tree = network
+        before = sum(t.packets_seen for t in net.transits.values())
+        flow = FlowGenerator(tree.num_hosts, host_ip=tree.host_ip, seed=3).uniform(1)[0]
+        result = net.send(flow)
+        after = sum(t.packets_seen for t in net.transits.values())
+        # Every non-sink hop processed the packet exactly once.
+        assert after - before == len(result.recorded_path) - 1
+
+    def test_hop_budget_truncates_long_recording(self):
+        tree = FatTreeTopology(k=4)
+        config = DartConfig(slots_per_collector=1 << 10, num_collectors=1)
+        net = PacketLevelIntNetwork(tree, config, max_int_hops=2)
+        flow = FlowGenerator(tree.num_hosts, host_ip=tree.host_ip, seed=4).uniform(1)[0]
+        # Pick a cross-pod flow (5 switch hops) to exceed the budget.
+        flow = type(flow)(
+            src_ip=tree.host_ip(1),
+            dst_ip=tree.host_ip(14),
+            src_port=41000,
+            dst_port=443,
+            protocol=6,
+            src_host=1,
+            dst_host=14,
+        )
+        result = net.send(flow)
+        assert len(result.recorded_path) == 2  # only the first two hops fit

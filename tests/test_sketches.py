@@ -1,0 +1,123 @@
+"""Tests for count-min sketch semantics of the CounterStore (section 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.collector.counters import CounterStore
+
+
+class TestTotals:
+    def test_total_count(self):
+        counters = CounterStore(cells_per_row=1 << 10, rows=2)
+        counters.add(b"a", 5)
+        counters.add(b"b", 7)
+        assert counters.total_count() == 12
+
+    def test_error_bound_shape(self):
+        counters = CounterStore(cells_per_row=1024, rows=3)
+        epsilon, delta = counters.error_bound()
+        assert epsilon == pytest.approx(math.e / 1024)
+        assert delta == pytest.approx(math.exp(-3))
+
+
+class TestCountMinGuarantee:
+    def test_empirical_guarantee(self):
+        """Estimates exceed truth by > epsilon*total with prob <= delta."""
+        counters = CounterStore(cells_per_row=512, rows=3)
+        rng = np.random.default_rng(0)
+        truth = {}
+        for _ in range(3000):
+            key = ("flow", int(rng.zipf(1.3)) % 500)
+            amount = int(rng.integers(1, 5))
+            counters.add(key, amount)
+            truth[key] = truth.get(key, 0) + amount
+        total = counters.total_count()
+        epsilon, delta = counters.error_bound()
+        violations = sum(
+            1
+            for key, count in truth.items()
+            if counters.estimate(key) - count > epsilon * total
+        )
+        # Allow generous slack over delta for finite-sample noise.
+        assert violations <= max(5, 3 * delta * len(truth))
+
+    def test_never_undercounts(self):
+        counters = CounterStore(cells_per_row=64, rows=2)
+        truth = {}
+        for i in range(500):
+            key = ("k", i % 40)
+            counters.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        assert all(
+            counters.estimate(key) >= count for key, count in truth.items()
+        )
+
+
+class TestHeavyHitters:
+    def test_finds_all_true_heavy_hitters(self):
+        counters = CounterStore(cells_per_row=1 << 12, rows=2)
+        for _ in range(100):
+            counters.add(b"elephant-1")
+        for _ in range(80):
+            counters.add(b"elephant-2")
+        for i in range(50):
+            counters.add(("mouse", i))
+        candidates = [b"elephant-1", b"elephant-2"] + [("mouse", i) for i in range(50)]
+        hits = counters.heavy_hitters(candidates, threshold=50)
+        keys = [key for key, _ in hits]
+        assert keys[:2] == [b"elephant-1", b"elephant-2"]  # sorted desc
+        assert all(estimate >= 50 for _, estimate in hits)
+
+    def test_upper_bound_never_misses(self):
+        """Count-min overestimates, so a true heavy hitter always appears."""
+        counters = CounterStore(cells_per_row=16, rows=2)  # force collisions
+        for _ in range(60):
+            counters.add(b"hh")
+        for i in range(200):
+            counters.add(("noise", i))
+        hits = counters.heavy_hitters([b"hh"], threshold=60)
+        assert hits and hits[0][0] == b"hh"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CounterStore(cells_per_row=8).heavy_hitters([], threshold=-1)
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        """Merging per-collector sketches equals one global sketch --
+        the 'network-wide aggregation' of section 7."""
+        site_a = CounterStore(cells_per_row=256, rows=2)
+        site_b = CounterStore(cells_per_row=256, rows=2)
+        combined = CounterStore(cells_per_row=256, rows=2)
+        for i in range(100):
+            key = ("flow", i % 30)
+            site_a.add(key)
+            combined.add(key)
+        for i in range(80):
+            key = ("flow", (i * 7) % 30)
+            site_b.add(key, 2)
+            combined.add(key, 2)
+        site_a.merge_from(site_b)
+        for i in range(30):
+            key = ("flow", i)
+            assert site_a.estimate(key) == combined.estimate(key)
+        assert site_a.total_count() == combined.total_count()
+
+    def test_merge_shape_mismatch_rejected(self):
+        a = CounterStore(cells_per_row=64, rows=2)
+        with pytest.raises(ValueError):
+            a.merge_from(CounterStore(cells_per_row=128, rows=2))
+        with pytest.raises(ValueError):
+            a.merge_from(CounterStore(cells_per_row=64, rows=3))
+
+    def test_merge_uses_atomics(self):
+        a = CounterStore(cells_per_row=32, rows=1)
+        b = CounterStore(cells_per_row=32, rows=1)
+        b.add(b"x", 3)
+        before = a.region.atomic_count
+        a.merge_from(b)
+        assert a.region.atomic_count > before
+        assert a.estimate(b"x") == 3
