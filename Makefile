@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-full examples lint-quick all
+.PHONY: install test bench experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -11,6 +11,16 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+	  $(PYTHON) -m ruff check src/ tests/ benchmarks/ examples/; \
+	else \
+	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
+	fi
+
+ci: lint
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -14,9 +14,10 @@ and exposes the endpoint table the control plane loads into switches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core.config import DartConfig
+from repro.fabric.fabric import Fabric
 from repro.mem.region import MemoryRegion
 from repro.rdma.nic import RdmaNic
 from repro.rdma.qp import PsnPolicy, QueuePair
@@ -129,8 +130,21 @@ class Collector:
     # ------------------------------------------------------------------
 
     def receive_frame(self, frame: bytes) -> bool:
-        """Deliver one wire frame to the collector's NIC."""
+        """Deliver one wire frame to the collector's NIC.
+
+        This is the collector's :class:`~repro.fabric.FabricPort` ingest
+        surface; senders reach it through a fabric rather than calling it
+        directly.
+        """
         return self.nic.receive_frame(frame)
+
+    def ingest_many(self, frames: Iterable[bytes]) -> int:
+        """Batched frame delivery (fabric flushes); returns executed count."""
+        return self.nic.ingest_many(frames)
+
+    def transmit(self) -> List[bytes]:
+        """Drain the NIC's outbound frames (READ responses) for the fabric."""
+        return self.nic.transmit()
 
     # ------------------------------------------------------------------
     # Query plane (collector CPU): local slot reads
@@ -164,6 +178,31 @@ class Collector:
             )
         self.region.write_offset(slot_index * self.config.slot_bytes, payload)
 
+    def write_slots(self, items: Iterable[Tuple[int, bytes]]) -> int:
+        """Multi-slot fast path: ``(slot_index, payload)`` pairs in one call.
+
+        Validation matches :meth:`write_slot` per item, but the region is
+        written through its batched interface so per-write overhead is
+        paid once per batch.  Returns the number of slots written.
+        """
+        slot_bytes = self.config.slot_bytes
+        slot_count = self.config.slots_per_collector
+
+        def offsets():
+            for slot_index, payload in items:
+                if len(payload) != slot_bytes:
+                    raise ValueError(
+                        f"payload of {len(payload)} bytes does not match "
+                        f"slot size {slot_bytes}"
+                    )
+                if not 0 <= slot_index < slot_count:
+                    raise ValueError(
+                        f"slot_index {slot_index} outside [0, {slot_count})"
+                    )
+                yield slot_index * slot_bytes, payload
+
+        return self.region.write_offset_many(offsets())
+
     def clear(self) -> None:
         """Zero the region (start a fresh epoch)."""
         self.region.clear()
@@ -191,6 +230,36 @@ class CollectorCluster:
     def endpoints(self) -> Dict[int, CollectorEndpoint]:
         """The full lookup table the control plane pushes to switches."""
         return {c.collector_id: c.endpoint for c in self.collectors}
+
+    def attach_to(self, fabric: Fabric) -> Fabric:
+        """Register every collector as a fabric endpoint (ID = collector ID).
+
+        This is the collector half of the fabric bring-up: switches address
+        frames by collector ID, and the fabric routes each ID to that
+        collector's NIC.  Returns the fabric for chaining.
+        """
+        for collector in self.collectors:
+            fabric.attach(collector.collector_id, collector)
+        return fabric
+
+    def write_slots(self, writes) -> int:
+        """Fleet-level multi-slot write path for reporter batches.
+
+        ``writes`` is an iterable of :class:`~repro.core.reporter.SlotWrite`
+        (anything with ``collector_id`` / ``slot_index`` / ``payload``);
+        writes are grouped per collector and applied through each
+        collector's batched interface.  Returns the number of slots
+        written.
+        """
+        grouped: Dict[int, List[Tuple[int, bytes]]] = {}
+        for write in writes:
+            grouped.setdefault(write.collector_id, []).append(
+                (write.slot_index, write.payload)
+            )
+        return sum(
+            self.collectors[collector_id].write_slots(items)
+            for collector_id, items in grouped.items()
+        )
 
     def read_slot(self, collector_id: int, slot_index: int) -> bytes:
         """Fleet-wide slot reader (plugs into a query client)."""

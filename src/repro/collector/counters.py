@@ -16,9 +16,10 @@ commute through the atomic adds.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.config import DartConfig
+from repro.fabric.fabric import Fabric, InlineFabric
 from repro.hashing.hash_family import HashFamily, Key
 from repro.mem.region import MemoryRegion
 from repro.rdma.nic import RdmaNic
@@ -28,6 +29,9 @@ from repro.rdma.qp import PsnPolicy, QueuePair
 #: Hash-family member base reserved for counter rows (distinct from slot
 #: addressing, collector selection and checksums).
 _COUNTER_FUNCTION_BASE = 0x20000000
+
+#: Fabric endpoint ID the counter bank's NIC is attached at.
+COUNTER_ENDPOINT_ID = 0
 
 
 class CounterStore:
@@ -42,6 +46,10 @@ class CounterStore:
         more rows give a count-min sketch.
     config:
         Optional deployment config supplying the hash-family seed.
+    fabric:
+        The transport FETCH_ADD frames traverse; defaults to a private
+        :class:`~repro.fabric.InlineFabric`.  The counter NIC is attached
+        at endpoint :data:`COUNTER_ENDPOINT_ID`.
     """
 
     def __init__(
@@ -50,6 +58,7 @@ class CounterStore:
         rows: int = 1,
         config: Optional[DartConfig] = None,
         base_address: int = 0x200000,
+        fabric: Optional[Fabric] = None,
     ) -> None:
         if cells_per_row < 1:
             raise ValueError(f"cells_per_row must be >= 1, got {cells_per_row}")
@@ -66,6 +75,8 @@ class CounterStore:
         self.qp = self.nic.create_queue_pair(
             QueuePair(qp_number=0x200, policy=PsnPolicy.IGNORE)
         )
+        self.fabric = fabric if fabric is not None else InlineFabric()
+        self.fabric.attach(COUNTER_ENDPOINT_ID, self.nic)
         self._psn = 0
 
     def __repr__(self) -> str:
@@ -107,7 +118,22 @@ class CounterStore:
     def add(self, key: Key, amount: int = 1) -> None:
         """Count ``key`` through the full packet path (switch -> NIC -> DMA)."""
         for frame in self.craft_add_frames(key, amount):
-            self.nic.receive_frame(frame)
+            self.fabric.send(COUNTER_ENDPOINT_ID, frame)
+
+    def add_many(self, items: Iterable[Tuple[Key, int]]) -> int:
+        """Batched counting: ``(key, amount)`` pairs through one fabric pass.
+
+        Crafts every FETCH_ADD frame first, then offers them to the fabric
+        in one :meth:`~repro.fabric.Fabric.send_many` call (and flushes, so
+        deferring fabrics apply everything before returning).  Returns the
+        number of frames offered.
+        """
+        frames: List[bytes] = []
+        for key, amount in items:
+            frames.extend(self.craft_add_frames(key, amount))
+        self.fabric.send_many(COUNTER_ENDPOINT_ID, frames)
+        self.fabric.flush()
+        return len(frames)
 
     # ------------------------------------------------------------------
     # Read path: local memory reads, min across rows

@@ -23,6 +23,7 @@ from repro.core.addressing import DartAddressing
 from repro.core.config import DartConfig
 from repro.core.policies import QueryResult, ReturnPolicy, resolve
 from repro.collector.collector import CollectorCluster
+from repro.fabric.fabric import Fabric, InlineFabric
 from repro.hashing.hash_family import Key
 from repro.rdma.packets import (
     Bth,
@@ -54,6 +55,11 @@ class RemoteQueryClient:
         Distinguishes query stations; each gets its own per-collector QPs.
     policy:
         Default return policy, as in :class:`~repro.core.client.DartQueryClient`.
+    fabric:
+        The transport READ requests and responses traverse.  Defaults to a
+        private :class:`~repro.fabric.InlineFabric` over the cluster; pass
+        a shared fabric (already attached to the cluster) to model queries
+        and reports riding the same links.
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class RemoteQueryClient:
         policy: ReturnPolicy = ReturnPolicy.PLURALITY,
         loss=None,
         max_retries: int = 0,
+        fabric: Optional[Fabric] = None,
     ) -> None:
         if operator_id < 0:
             raise ValueError("operator_id must be non-negative")
@@ -78,6 +85,9 @@ class RemoteQueryClient:
         self.retries_performed = 0
         self.config = config
         self.cluster = cluster
+        if fabric is None:
+            fabric = cluster.attach_to(InlineFabric())
+        self.fabric = fabric
         self.addressing = DartAddressing(config)
         self._codec = config.slot_codec()
         self.policy = policy
@@ -138,12 +148,12 @@ class RemoteQueryClient:
         self.read_requests_sent += 1
         if self._loss is not None and not self._loss.deliver():
             return None  # request lost on the wire
-        if not collector.receive_frame(request.pack()):
-            return None
+        if self.fabric.send(collector_id, request.pack()) is False:
+            return None  # delivered synchronously and rejected by the NIC
         if self._loss is not None and not self._loss.deliver():
-            collector.nic.transmit()  # response lost on the wire
+            self.fabric.poll(collector_id)  # response lost on the wire
             return None
-        responses = collector.nic.transmit()
+        responses = self.fabric.poll(collector_id)
         if not responses:
             return None
         try:
@@ -183,3 +193,18 @@ class RemoteQueryClient:
     def query_value(self, key: Key, policy: Optional[ReturnPolicy] = None) -> Optional[bytes]:
         """Convenience: the value, or ``None`` on an empty return."""
         return self.query(key, policy=policy).value
+
+    def query_many(
+        self, keys, policy: Optional[ReturnPolicy] = None
+    ) -> Dict[Key, QueryResult]:
+        """Batch remote queries: ``{key: QueryResult}`` per distinct key.
+
+        Mirrors :meth:`DartQueryClient.query_many
+        <repro.core.client.DartQueryClient.query_many>` so operator sweeps
+        can switch between local and one-sided querying without changes.
+        """
+        results: Dict[Key, QueryResult] = {}
+        for key in keys:
+            if key not in results:
+                results[key] = self.query(key, policy=policy)
+        return results

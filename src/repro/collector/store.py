@@ -14,13 +14,14 @@ used by integration tests and the prototype benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.core.client import DartQueryClient
 from repro.core.config import DartConfig
 from repro.core.policies import QueryResult, ReturnPolicy
 from repro.core.reporter import DartReporter
 from repro.collector.collector import CollectorCluster
+from repro.fabric.fabric import Fabric, InlineFabric
 from repro.hashing.hash_family import Key
 
 
@@ -36,6 +37,12 @@ class DartStore:
     packet_level:
         Route writes through the P4 switch model and RoCEv2 wire format
         instead of direct slot writes.
+    fabric:
+        The transport report frames traverse in packet-level mode; defaults
+        to an :class:`~repro.fabric.InlineFabric` (synchronous delivery).
+        Pass a :class:`~repro.fabric.BufferedFabric` for batched delivery
+        (remember to :meth:`~repro.fabric.Fabric.flush` before querying) or
+        an :class:`~repro.fabric.ImpairedFabric` for loss scenarios.
 
     Examples
     --------
@@ -51,7 +58,12 @@ class DartStore:
         config: DartConfig,
         policy: ReturnPolicy = ReturnPolicy.PLURALITY,
         packet_level: bool = False,
+        fabric: Optional[Fabric] = None,
     ) -> None:
+        if fabric is not None and not packet_level:
+            raise ValueError(
+                "a fabric only carries RoCEv2 frames; pass packet_level=True"
+            )
         self.config = config
         self.cluster = CollectorCluster(config)
         self.reporter = DartReporter(config)
@@ -59,13 +71,16 @@ class DartStore:
             config, reader=self.cluster.read_slot, policy=policy
         )
         self._switch = None
+        self.fabric: Optional[Fabric] = None
         if packet_level:
             # Imported lazily: the switch model depends on core, and the
             # store is usable without the packet path.
             from repro.switch.dart_switch import DartSwitch
             from repro.switch.control_plane import SwitchControlPlane
 
-            self._switch = DartSwitch(config, switch_id=0)
+            self.fabric = fabric if fabric is not None else InlineFabric()
+            self.cluster.attach_to(self.fabric)
+            self._switch = DartSwitch(config, switch_id=0, fabric=self.fabric)
             SwitchControlPlane(self.config).provision(
                 self._switch, self.cluster.endpoints()
             )
@@ -83,22 +98,57 @@ class DartStore:
     def put(self, key: Key, value: bytes) -> int:
         """Store a telemetry report; returns the number of slot copies written.
 
-        Later ``put``s of colliding keys may overwrite copies -- by design.
+        In packet-level mode the count is the number of frames the fabric
+        executed synchronously -- with a deferring (buffered) fabric it is
+        the number of frames offered, and actual execution happens at the
+        next flush.  Later ``put``s of colliding keys may overwrite copies
+        -- by design.
         """
         self.puts += 1
         if self._switch is not None:
             frames = self._switch.report(key, value)
+            fabric = self.fabric
             delivered = 0
+            deferred = False
             for collector_id, frame in frames:
-                if self.cluster[collector_id].receive_frame(frame):
+                result = fabric.send(collector_id, frame)
+                if result is None:
+                    deferred = True
+                elif result:
                     delivered += 1
-            return delivered
+            return len(frames) if deferred else delivered
         writes = self.reporter.writes_for(key, value)
         for write in writes:
             self.cluster[write.collector_id].write_slot(
                 write.slot_index, write.payload
             )
         return len(writes)
+
+    def put_many(self, items: Iterable[Tuple[Key, bytes]]) -> int:
+        """Batched puts: the amortised hot path for report streams.
+
+        In-process mode expands all reports through
+        :meth:`~repro.core.reporter.DartReporter.report_batch` (one key
+        fold per report instead of one per hash) and applies them through
+        the cluster's grouped multi-slot writes.  Packet-level mode emits
+        every report's frames into the fabric and flushes once at the end.
+        Returns the number of slot copies written (frames offered in
+        packet-level mode).
+        """
+        if self._switch is not None:
+            switch = self._switch
+            offered = 0
+            count = 0
+            for key, value in items:
+                offered += switch.report_into(key, value)
+                count += 1
+            self.puts += count
+            self.fabric.flush()
+            return offered
+        items = list(items)
+        self.puts += len(items)
+        writes = self.reporter.report_batch(items)
+        return self.cluster.write_slots(writes)
 
     # ------------------------------------------------------------------
     # Read path

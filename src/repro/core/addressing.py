@@ -15,12 +15,12 @@ are expected and handled probabilistically by redundancy plus checksums.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.core.config import DartConfig
-from repro.hashing.hash_family import Key
+from repro.hashing.hash_family import Key, fold_key
 
 #: Hash-family member reserved for the key -> collector mapping.  Slot
 #: addressing uses members [0, N) and the checksum uses its own reserved
@@ -35,6 +35,22 @@ class SlotLocation:
     collector_id: int
     slot_index: int
     copy_index: int  # n in [0, N)
+
+
+@dataclass(frozen=True)
+class ResolvedKey:
+    """Everything addressing derives from one key, computed in one pass.
+
+    The batched write path resolves each key once -- one byte encoding and
+    one fold instead of one per hash-family member -- and reads the
+    collector, checksum and all N slot indexes off this record.  Values are
+    bit-identical to the scalar ``collector_of`` / ``checksum_of`` /
+    ``slot_index`` calls (property-tested).
+    """
+
+    collector_id: int
+    checksum: int
+    slot_indexes: Tuple[int, ...]  # indexed by copy n in [0, N)
 
 
 class DartAddressing:
@@ -77,6 +93,27 @@ class DartAddressing:
     def checksum_of(self, key: Key) -> int:
         """The b-bit key checksum stored in each slot."""
         return self._checksum.compute(key)
+
+    def resolve(self, key: Key) -> ResolvedKey:
+        """Resolve collector, checksum and all N slots with one key fold.
+
+        The amortised core of :meth:`DartReporter.report_batch
+        <repro.core.reporter.DartReporter.report_batch>`: the scalar
+        methods each re-encode and re-fold the key, so a full report costs
+        N+2 folds; this costs exactly one.
+        """
+        folded = fold_key(key)
+        family = self._family
+        config = self.config
+        return ResolvedKey(
+            collector_id=family.hash_folded(folded, COLLECTOR_FUNCTION_INDEX)
+            % config.num_collectors,
+            checksum=self._checksum.compute_folded(folded),
+            slot_indexes=tuple(
+                family.hash_folded(folded, n) % config.slots_per_collector
+                for n in range(config.redundancy)
+            ),
+        )
 
     def locate(self, key: Key) -> List[SlotLocation]:
         """All N storage locations of ``key`` (same collector by design)."""

@@ -16,10 +16,11 @@ arbitrary slot sizes is :func:`repro.core.simulator.simulate_cas_strategy`.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.core.addressing import DartAddressing
 from repro.core.config import DartConfig
+from repro.fabric.fabric import Fabric, InlineFabric
 from repro.mem.region import MemoryRegion
 from repro.rdma.nic import RdmaNic
 from repro.rdma.packets import (
@@ -31,6 +32,9 @@ from repro.rdma.packets import (
 )
 from repro.rdma.qp import PsnPolicy, QueuePair
 from repro.hashing.hash_family import Key
+
+#: Fabric endpoint ID the CAS store's NIC is attached at.
+CAS_ENDPOINT_ID = 0
 
 #: Compact-slot geometry: 24-bit checksum, 40-bit value, one 8-byte word.
 CHECKSUM_BITS = 24
@@ -66,9 +70,18 @@ class CasDartStore:
         Region size in 8-byte slots.
     seed:
         Global hash-family seed shared with queriers.
+    fabric:
+        The transport WRITE/CMP_SWAP frames traverse; defaults to a
+        private :class:`~repro.fabric.InlineFabric`.  The store NIC is
+        attached at endpoint :data:`CAS_ENDPOINT_ID`.
     """
 
-    def __init__(self, num_slots: int = 1 << 16, seed: int = 0) -> None:
+    def __init__(
+        self,
+        num_slots: int = 1 << 16,
+        seed: int = 0,
+        fabric: Optional[Fabric] = None,
+    ) -> None:
         if num_slots < 1:
             raise ValueError(f"num_slots must be >= 1, got {num_slots}")
         self.num_slots = num_slots
@@ -89,6 +102,8 @@ class CasDartStore:
         self.qp = self.nic.create_queue_pair(
             QueuePair(qp_number=0x300, policy=PsnPolicy.IGNORE)
         )
+        self.fabric = fabric if fabric is not None else InlineFabric()
+        self.fabric.attach(CAS_ENDPOINT_ID, self.nic)
         self.puts = 0
 
     def __repr__(self) -> str:
@@ -108,6 +123,30 @@ class CasDartStore:
 
     def put(self, key: Key, value: int) -> None:
         """Store a 40-bit value under ``key`` via WRITE + CAS frames."""
+        write, cas = self._craft_put_frames(key, value)
+        self.fabric.send(CAS_ENDPOINT_ID, write)
+        self.fabric.send(CAS_ENDPOINT_ID, cas)
+        self.puts += 1
+
+    def put_many(self, items: Iterable[Tuple[Key, int]]) -> int:
+        """Batched puts: craft all frames, then one fabric pass + flush.
+
+        Frame order is preserved per link, so each key's WRITE lands before
+        its CAS -- the ordering the strategy depends on.  Returns the
+        number of frames offered.
+        """
+        frames = []
+        count = 0
+        for key, value in items:
+            frames.extend(self._craft_put_frames(key, value))
+            count += 1
+        self.fabric.send_many(CAS_ENDPOINT_ID, frames)
+        self.fabric.flush()
+        self.puts += count
+        return len(frames)
+
+    def _craft_put_frames(self, key: Key, value: int) -> Tuple[bytes, bytes]:
+        """The (WRITE, CMP_SWAP) wire frames for one put."""
         word = self._packed_word(key, value)
         payload = word.to_bytes(8, "big")
 
@@ -129,9 +168,7 @@ class CasDartStore:
                 compare=0,  # fill only if the slot is still empty
             ),
         )
-        self.nic.receive_frame(write.pack())
-        self.nic.receive_frame(cas.pack())
-        self.puts += 1
+        return write.pack(), cas.pack()
 
     # ------------------------------------------------------------------
     # Read path

@@ -11,7 +11,7 @@ apply them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.addressing import DartAddressing
 from repro.core.config import DartConfig
@@ -92,6 +92,46 @@ class DartReporter:
             for n in range(self.redundancy)
         ]
         self.reports_generated += 1
+        self.writes_generated += len(writes)
+        return writes
+
+    def report_batch(
+        self, items: Iterable[Tuple[Key, bytes]]
+    ) -> List[SlotWrite]:
+        """Expand many ``(key, value)`` reports in one amortised pass.
+
+        Produces exactly the writes that per-report :meth:`writes_for`
+        calls would (same order, bit-identical payloads -- tested), but
+        resolves each key's collector, checksum and slot indexes from a
+        single key fold instead of re-hashing the key for every family
+        member, and hoists the per-report attribute lookups out of the
+        loop.  This is the switch-side half of the batched datapath; pair
+        it with :meth:`CollectorCluster.write_slots
+        <repro.collector.collector.CollectorCluster.write_slots>` or a
+        :class:`~repro.fabric.BufferedFabric` flush on the delivery side.
+        """
+        resolve = self.addressing.resolve
+        encode = self._codec.encode
+        redundancy = self.redundancy
+        writes: List[SlotWrite] = []
+        append = writes.append
+        reports = 0
+        for key, value in items:
+            resolved = resolve(key)
+            payload = encode(resolved.checksum, value)
+            collector_id = resolved.collector_id
+            slot_indexes = resolved.slot_indexes
+            for n in range(redundancy):
+                append(
+                    SlotWrite(
+                        collector_id=collector_id,
+                        slot_index=slot_indexes[n],
+                        copy_index=n,
+                        payload=payload,
+                    )
+                )
+            reports += 1
+        self.reports_generated += reports
         self.writes_generated += len(writes)
         return writes
 

@@ -149,8 +149,7 @@ def fetch_add_rows(
             flow = int(rng.integers(num_flows // 2))
             key = ("flow", flow)
             amount = int(rng.integers(1, 10))
-            for frame in counters.craft_add_frames(key, amount):
-                counters.nic.receive_frame(frame)
+            counters.add(key, amount)
             truth[key] = truth.get(key, 0) + amount
 
     exact = sum(1 for k, v in truth.items() if counters.estimate(k) == v)
@@ -185,7 +184,6 @@ def update_heavy_rows(
     feeds the identical stream to both.
     """
     from repro.baselines.cpu_collector import DpdkConfluoCollector, encode_report
-    from repro.core.config import DartConfig
     from repro.collector.store import DartStore
 
     rng = np.random.default_rng(seed)

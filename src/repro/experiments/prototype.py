@@ -21,6 +21,7 @@ from typing import List
 from repro.core.client import DartQueryClient
 from repro.core.config import DartConfig
 from repro.collector.collector import CollectorCluster
+from repro.fabric.fabric import InlineFabric
 from repro.rdma.packets import RoceV2Packet
 from repro.switch.control_plane import SwitchControlPlane
 from repro.switch.dart_switch import DartSwitch
@@ -53,7 +54,8 @@ def prototype_pipeline_rows(
         slots_per_collector=1 << 14, num_collectors=num_collectors, seed=seed
     )
     cluster = CollectorCluster(config)
-    switch = DartSwitch(config, switch_id=7)
+    fabric = cluster.attach_to(InlineFabric())
+    switch = DartSwitch(config, switch_id=7, fabric=fabric)
     SwitchControlPlane(config).connect_switch(switch, cluster)
     client = DartQueryClient(config, reader=cluster.read_slot)
 
@@ -64,7 +66,7 @@ def prototype_pipeline_rows(
         value = i.to_bytes(20, "big")
         for collector_id, frame in switch.report(key, value):
             frame_bytes += len(frame)
-            cluster[collector_id].receive_frame(frame)
+            fabric.send(collector_id, frame)
     elapsed = time.perf_counter() - start
 
     frames_emitted = switch.counters.reports_emitted

@@ -1,0 +1,321 @@
+"""Fabric core: the transport protocol plus inline and buffered transports.
+
+A fabric connects *senders* (switch models, query clients, counter
+updaters) to *endpoints* (anything exposing the :class:`FabricPort`
+surface: an :class:`~repro.rdma.nic.RdmaNic`, a
+:class:`~repro.collector.collector.Collector`, ...).  Senders address
+endpoints by integer ID -- in DART deployments the collector ID, so the
+switch-side collector lookup table and the fabric agree on addressing.
+
+Delivery semantics are deliberately narrow: a fabric moves opaque wire
+bytes.  It never parses frames, so everything the RNIC validates (iCRC,
+rkey, QP, PSN) still happens at the endpoint, exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+try:  # pragma: no cover - Protocol is typing-only convenience on 3.9+
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        """Fallback no-op decorator when typing.Protocol is unavailable."""
+        return cls
+
+
+@runtime_checkable
+class FabricPort(Protocol):
+    """What a fabric endpoint must implement: ingest frames, emit responses."""
+
+    def receive_frame(self, frame: bytes) -> bool:
+        """Ingest one wire frame; returns whether it was executed."""
+        ...
+
+    def transmit(self) -> List[bytes]:
+        """Drain and return queued outbound frames (READ responses, ACKs)."""
+        ...
+
+
+@dataclass
+class FabricCounters:
+    """Frame accounting for one fabric (senders' side of the seam).
+
+    The invariant the impairment tests enforce:
+    ``frames_delivered == frames_executed + frames_rejected`` and, for the
+    delivering fabric, ``frames_delivered`` equals the sum of the attached
+    NICs' ``frames_received`` increments -- no frame is ever silently lost
+    between a sender and the NIC counters.
+    """
+
+    #: Frames handed to the fabric by senders.
+    frames_offered: int = 0
+    #: Frames handed to an endpoint port (after buffering/impairments).
+    frames_delivered: int = 0
+    #: Delivered frames the endpoint executed (port returned True).
+    frames_executed: int = 0
+    #: Delivered frames the endpoint dropped (port returned False).
+    frames_rejected: int = 0
+    #: Frames dropped in flight by an impairment (never delivered).
+    frames_dropped_loss: int = 0
+    #: Extra deliveries injected by a duplication impairment.
+    frames_duplicated: int = 0
+    #: Frames delivered out of order by a reordering impairment.
+    frames_reordered: int = 0
+    #: Explicit and threshold-triggered flushes performed.
+    flushes: int = 0
+
+
+class Fabric:
+    """Base transport: endpoint registry plus the delivery protocol.
+
+    Subclasses implement :meth:`send`; the base class provides endpoint
+    bookkeeping, batched :meth:`send_many`, and the response-path
+    :meth:`poll` that the one-sided READ flow uses.
+    """
+
+    def __init__(self) -> None:
+        self.counters = FabricCounters()
+        self._ports: "OrderedDict[int, FabricPort]" = OrderedDict()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(endpoints={len(self._ports)})"
+
+    # ------------------------------------------------------------------
+    # Endpoint registry (control plane)
+    # ------------------------------------------------------------------
+
+    def attach(self, endpoint_id: int, port: FabricPort) -> None:
+        """Register ``port`` as the endpoint reachable at ``endpoint_id``."""
+        if endpoint_id in self._ports:
+            raise ValueError(f"endpoint {endpoint_id} already attached")
+        self._ports[endpoint_id] = port
+
+    def port(self, endpoint_id: int) -> FabricPort:
+        """The port attached at ``endpoint_id`` (KeyError if absent)."""
+        try:
+            return self._ports[endpoint_id]
+        except KeyError:
+            raise KeyError(
+                f"no fabric endpoint {endpoint_id}; attached: "
+                f"{sorted(self._ports)}"
+            ) from None
+
+    def endpoint_ids(self) -> List[int]:
+        """All attached endpoint IDs, in attach order."""
+        return list(self._ports)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def send(self, endpoint_id: int, frame: bytes) -> Optional[bool]:
+        """Offer one frame for delivery to ``endpoint_id``.
+
+        Returns True/False for frames delivered synchronously (whether the
+        endpoint executed them) and None when delivery is deferred (queued
+        or held by an impairment).
+        """
+        raise NotImplementedError
+
+    def send_many(
+        self, endpoint_id: int, frames: Iterable[bytes]
+    ) -> Optional[int]:
+        """Offer a batch of frames to one endpoint.
+
+        Returns the number executed for synchronous transports, or None
+        when delivery is deferred.  The default implementation loops over
+        :meth:`send`; transports with a cheaper bulk path override it.
+        """
+        executed: Optional[int] = 0
+        for frame in frames:
+            result = self.send(endpoint_id, frame)
+            if result is None:
+                executed = None
+            elif executed is not None and result:
+                executed += 1
+        return executed
+
+    def flush(self) -> int:
+        """Deliver everything in flight; returns frames delivered now."""
+        return 0
+
+    def pending(self) -> int:
+        """Frames accepted but not yet delivered to any endpoint."""
+        return 0
+
+    def poll(self, endpoint_id: int) -> List[bytes]:
+        """Drain ``endpoint_id``'s outbound frames (flushing it first).
+
+        This is the response leg of one-sided READs: flush anything queued
+        toward the endpoint so requests precede the poll, then collect what
+        its NIC transmitted.
+        """
+        self._flush_endpoint(endpoint_id)
+        return self.port(endpoint_id).transmit()
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+
+    def _flush_endpoint(self, endpoint_id: int) -> int:
+        """Deliver frames in flight toward one endpoint (default: none)."""
+        return 0
+
+    def _deliver(self, endpoint_id: int, frame: bytes) -> bool:
+        """Hand one frame to the endpoint port, keeping the counters exact."""
+        executed = self.port(endpoint_id).receive_frame(frame)
+        counters = self.counters
+        counters.frames_delivered += 1
+        if executed:
+            counters.frames_executed += 1
+        else:
+            counters.frames_rejected += 1
+        return executed
+
+    def _deliver_many(self, endpoint_id: int, frames: List[bytes]) -> int:
+        """Bulk-hand frames to the endpoint, via its batched path if any."""
+        port = self.port(endpoint_id)
+        ingest_many = getattr(port, "ingest_many", None)
+        if ingest_many is not None:
+            executed = ingest_many(frames)
+        else:
+            executed = sum(1 for frame in frames if port.receive_frame(frame))
+        counters = self.counters
+        counters.frames_delivered += len(frames)
+        counters.frames_executed += executed
+        counters.frames_rejected += len(frames) - executed
+        return executed
+
+
+class InlineFabric(Fabric):
+    """Synchronous direct delivery -- the historical behaviour, as a seam.
+
+    Every :meth:`send` hands the frame to the endpoint immediately and
+    returns whether the NIC executed it.  The equivalence tests prove this
+    transport leaves collector memory bit-identical to the direct calls it
+    replaced.
+    """
+
+    def send(self, endpoint_id: int, frame: bytes) -> bool:
+        """Deliver one frame now; returns whether it was executed."""
+        self.counters.frames_offered += 1
+        return self._deliver(endpoint_id, frame)
+
+    def send_many(self, endpoint_id: int, frames: Iterable[bytes]) -> int:
+        """Deliver a batch now via the endpoint's bulk path."""
+        frames = list(frames)
+        self.counters.frames_offered += len(frames)
+        return self._deliver_many(endpoint_id, frames)
+
+
+class BufferedFabric(Fabric):
+    """Per-link FIFO queues with threshold-triggered or explicit flushes.
+
+    Frames accumulate in one queue per endpoint; a queue drains through the
+    endpoint's batched ingest when it reaches ``flush_threshold`` frames
+    (or only on explicit :meth:`flush` when the threshold is None).  Order
+    is preserved per link, so per-QP PSN sequences arrive intact and the
+    flushed result is byte-identical to inline delivery -- the fabric
+    equivalence suite asserts exactly that.
+
+    Parameters
+    ----------
+    flush_threshold:
+        Queue depth that triggers an automatic per-link flush; None means
+        frames wait for an explicit :meth:`flush` / :meth:`poll`.
+    """
+
+    def __init__(self, flush_threshold: Optional[int] = 64) -> None:
+        if flush_threshold is not None and flush_threshold < 1:
+            raise ValueError(
+                f"flush_threshold must be >= 1 or None, got {flush_threshold}"
+            )
+        super().__init__()
+        self.flush_threshold = flush_threshold
+        self._queues: Dict[int, Deque[bytes]] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferedFabric(endpoints={len(self._ports)}, "
+            f"pending={self.pending()}, threshold={self.flush_threshold})"
+        )
+
+    def send(self, endpoint_id: int, frame: bytes) -> Optional[bool]:
+        """Queue one frame; delivery happens at the next (auto-)flush."""
+        self.port(endpoint_id)  # fail fast on unknown endpoints
+        self.counters.frames_offered += 1
+        queue = self._queues.setdefault(endpoint_id, deque())
+        queue.append(frame)
+        if (
+            self.flush_threshold is not None
+            and len(queue) >= self.flush_threshold
+        ):
+            self.counters.flushes += 1
+            self._flush_endpoint(endpoint_id)
+        return None
+
+    def send_many(
+        self, endpoint_id: int, frames: Iterable[bytes]
+    ) -> Optional[int]:
+        """Queue a batch of frames toward one endpoint."""
+        self.port(endpoint_id)
+        queue = self._queues.setdefault(endpoint_id, deque())
+        count = 0
+        for frame in frames:
+            queue.append(frame)
+            count += 1
+        self.counters.frames_offered += count
+        if (
+            self.flush_threshold is not None
+            and len(queue) >= self.flush_threshold
+        ):
+            self.counters.flushes += 1
+            self._flush_endpoint(endpoint_id)
+        return None
+
+    def flush(self) -> int:
+        """Drain every link in attach order; returns frames delivered."""
+        self.counters.flushes += 1
+        return sum(
+            self._flush_endpoint(endpoint_id)
+            for endpoint_id in list(self._queues)
+        )
+
+    def pending(self) -> int:
+        """Frames queued across all links."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def pending_for(self, endpoint_id: int) -> int:
+        """Frames queued toward one endpoint."""
+        queue = self._queues.get(endpoint_id)
+        return len(queue) if queue else 0
+
+    def _flush_endpoint(self, endpoint_id: int) -> int:
+        """Drain one link through the endpoint's bulk ingest path."""
+        queue = self._queues.get(endpoint_id)
+        if not queue:
+            return 0
+        frames = list(queue)
+        queue.clear()
+        self._deliver_many(endpoint_id, frames)
+        return len(frames)
+
+
+def drain_pairs(
+    fabric: Fabric, pairs: Iterable[Tuple[int, bytes]]
+) -> Optional[int]:
+    """Send (endpoint_id, frame) pairs -- the switch report shape -- and
+    return the executed count for synchronous fabrics (None if deferred)."""
+    executed: Optional[int] = 0
+    for endpoint_id, frame in pairs:
+        result = fabric.send(endpoint_id, frame)
+        if result is None:
+            executed = None
+        elif executed is not None and result:
+            executed += 1
+    return executed

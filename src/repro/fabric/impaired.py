@@ -1,0 +1,178 @@
+"""Network impairments as a fabric wrapper: loss, duplication, reordering.
+
+DART's resilience story (paper sections 3.1 and 6) rests on the RNIC's
+own validation -- stale PSNs, bad iCRC and out-of-bounds DMAs are dropped
+silently while redundancy absorbs the gaps.  :class:`ImpairedFabric`
+exercises that machinery with real frames: it wraps any inner fabric and,
+per frame, may drop it (loss), deliver it twice (duplication) or hold it
+so the next frame for the same endpoint overtakes it (reordering).
+
+Accounting is exact by construction and property-tested: every offered
+frame is either dropped by the impairment (counted in
+``frames_dropped_loss``) or handed to the inner fabric, whose delivery
+counters in turn reconcile with the NICs' ``frames_received`` -- no
+divergence between fabric counters and what endpoints saw.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.fabric.fabric import Fabric, FabricCounters, FabricPort
+
+
+class ImpairedFabric(Fabric):
+    """Wraps another fabric, impairing frames before they reach it.
+
+    Parameters
+    ----------
+    inner:
+        The transport that performs actual delivery (any :class:`Fabric`).
+    loss / duplication / reordering:
+        Independent per-frame probabilities in [0, 1].  A reordered frame
+        is held and delivered immediately *after* the next frame sent to
+        the same endpoint (an adjacent swap -- enough to exercise the
+        PSN stale-window logic); held frames are released by
+        :meth:`flush` / :meth:`poll` at the latest.
+    seed:
+        Seed for the impairment draws, for reproducible scenarios.
+    loss_model:
+        Optional object with a ``deliver() -> bool`` method (e.g.
+        :class:`~repro.network.simulation.LossModel`) that replaces the
+        internal Bernoulli loss draw, letting deployments share one seeded
+        loss process across layers.
+    """
+
+    def __init__(
+        self,
+        inner: Fabric,
+        *,
+        loss: float = 0.0,
+        duplication: float = 0.0,
+        reordering: float = 0.0,
+        seed: int = 0,
+        loss_model=None,
+    ) -> None:
+        for name, probability in (
+            ("loss", loss),
+            ("duplication", duplication),
+            ("reordering", reordering),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"{name} probability must be in [0, 1], got {probability}"
+                )
+        super().__init__()
+        self.inner = inner
+        self.loss = loss
+        self.duplication = duplication
+        self.reordering = reordering
+        self._loss_model = loss_model
+        self._rng = random.Random(seed)
+        #: At most one held (reordered) frame per endpoint.
+        self._held: Dict[int, bytes] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"ImpairedFabric(loss={self.loss}, dup={self.duplication}, "
+            f"reorder={self.reordering}, inner={self.inner!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoint registry: delegated to the inner fabric
+    # ------------------------------------------------------------------
+
+    def attach(self, endpoint_id: int, port: FabricPort) -> None:
+        """Register an endpoint on the inner fabric."""
+        self.inner.attach(endpoint_id, port)
+
+    def port(self, endpoint_id: int) -> FabricPort:
+        """Look up an endpoint on the inner fabric."""
+        return self.inner.port(endpoint_id)
+
+    def endpoint_ids(self) -> List[int]:
+        """Endpoint IDs attached to the inner fabric."""
+        return self.inner.endpoint_ids()
+
+    @property
+    def delivered(self) -> FabricCounters:
+        """The inner fabric's counters (what actually reached endpoints)."""
+        return self.inner.counters
+
+    # ------------------------------------------------------------------
+    # Impairment draws
+    # ------------------------------------------------------------------
+
+    def _lost(self) -> bool:
+        if self._loss_model is not None:
+            return not self._loss_model.deliver()
+        return self.loss > 0.0 and self._rng.random() < self.loss
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def send(self, endpoint_id: int, frame: bytes) -> Optional[bool]:
+        """Offer one frame, applying loss, reordering and duplication.
+
+        Returns False for frames lost in flight, None for frames held for
+        reordering, and otherwise whatever the inner fabric returned for
+        the frame's own delivery.
+        """
+        counters = self.counters
+        counters.frames_offered += 1
+        if self._lost():
+            counters.frames_dropped_loss += 1
+            return False
+
+        held = self._held.pop(endpoint_id, None)
+        if held is None and self.reordering > 0.0 and (
+            self._rng.random() < self.reordering
+        ):
+            # Hold this frame; the next frame to this endpoint overtakes it.
+            self._held[endpoint_id] = frame
+            counters.frames_reordered += 1
+            return None
+
+        result = self.inner.send(endpoint_id, frame)
+        if held is not None:
+            # The held frame lands *after* the newer one: an adjacent swap.
+            self.inner.send(endpoint_id, held)
+        if self.duplication > 0.0 and self._rng.random() < self.duplication:
+            counters.frames_duplicated += 1
+            self.inner.send(endpoint_id, frame)
+        return result
+
+    def send_many(
+        self, endpoint_id: int, frames: Iterable[bytes]
+    ) -> Optional[int]:
+        """Offer a batch, impairing each frame independently."""
+        executed: Optional[int] = 0
+        for frame in frames:
+            result = self.send(endpoint_id, frame)
+            if result is None:
+                executed = None
+            elif executed is not None and result:
+                executed += 1
+        return executed
+
+    def flush(self) -> int:
+        """Release held frames, then flush the inner fabric."""
+        released = 0
+        for endpoint_id in list(self._held):
+            frame = self._held.pop(endpoint_id)
+            self.inner.send(endpoint_id, frame)
+            released += 1
+        return released + self.inner.flush()
+
+    def pending(self) -> int:
+        """Held frames plus whatever the inner fabric has queued."""
+        return len(self._held) + self.inner.pending()
+
+    def poll(self, endpoint_id: int) -> List[bytes]:
+        """Release any held frame for the endpoint, then poll through."""
+        held = self._held.pop(endpoint_id, None)
+        if held is not None:
+            self.inner.send(endpoint_id, held)
+        return self.inner.poll(endpoint_id)

@@ -28,6 +28,7 @@ from repro.hashing.crc import (
 )
 from repro.hashing.hash_family import (
     HashFamily,
+    fold_key,
     mix64,
     splitmix64,
     stable_key_bytes,
@@ -46,6 +47,7 @@ __all__ = [
     "crc32c",
     "HashFamily",
     "KeyChecksum",
+    "fold_key",
     "mix64",
     "splitmix64",
     "stable_key_bytes",

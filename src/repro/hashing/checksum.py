@@ -64,6 +64,15 @@ class KeyChecksum:
         """The ``b``-bit checksum of ``key``."""
         return self.family.hash_key(key, CHECKSUM_FUNCTION_INDEX) & self._mask
 
+    def compute_folded(self, folded: int) -> int:
+        """The checksum from a pre-folded key lane (see
+        :func:`~repro.hashing.hash_family.fold_key`); equals
+        :meth:`compute` on the original key."""
+        return (
+            self.family.hash_folded(folded, CHECKSUM_FUNCTION_INDEX)
+            & self._mask
+        )
+
     def compute_array(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised checksum of integer key identities."""
         hashes = self.family.hash_array(keys, CHECKSUM_FUNCTION_INDEX)

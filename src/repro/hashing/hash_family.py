@@ -70,6 +70,18 @@ def mix64(value: int, seed: int = 0) -> int:
     return splitmix64((value ^ splitmix64(seed)) & _U64)
 
 
+def fold_key(key: Key) -> int:
+    """Fold a key into its seed-independent 64-bit lane.
+
+    This is the expensive, per-key part of every family hash (byte
+    encoding plus chunk mixing) and it does not depend on the function
+    index, so batch paths compute it once per key and finish each family
+    member with the cheap :meth:`HashFamily.hash_folded` mix.  By
+    construction ``hash_folded(fold_key(k), i) == hash_key(k, i)``.
+    """
+    return _fold_bytes(stable_key_bytes(key))
+
+
 def _fold_bytes(data: bytes) -> int:
     """Fold arbitrary-length bytes into a 64-bit lane with mixing per word."""
     acc = 0xCBF29CE484222325  # FNV offset basis, an arbitrary non-zero start
@@ -109,6 +121,7 @@ class HashFamily:
             raise ValueError("seed must be non-negative")
         self.seed = seed
         self._base = splitmix64(seed & _U64)
+        self._seed_cache: dict = {}
 
     def __repr__(self) -> str:
         return f"HashFamily(seed={self.seed})"
@@ -120,13 +133,26 @@ class HashFamily:
         return hash(("HashFamily", self.seed))
 
     def _function_seed(self, index: int) -> int:
-        if index < 0:
-            raise ValueError("hash function index must be non-negative")
-        return splitmix64((self._base ^ (index * 0xA24BAED4963EE407)) & _U64)
+        seed = self._seed_cache.get(index)
+        if seed is None:
+            if index < 0:
+                raise ValueError("hash function index must be non-negative")
+            seed = splitmix64((self._base ^ (index * 0xA24BAED4963EE407)) & _U64)
+            self._seed_cache[index] = seed
+        return seed
 
     def hash_key(self, key: Key, index: int = 0) -> int:
         """64-bit hash of ``key`` under family member ``index``."""
         folded = _fold_bytes(stable_key_bytes(key))
+        return mix64(folded, self._function_seed(index))
+
+    def hash_folded(self, folded: int, index: int = 0) -> int:
+        """Finish a :func:`fold_key` lane under family member ``index``.
+
+        Equals ``hash_key(key, index)`` when ``folded == fold_key(key)``;
+        the batch addressing path folds each key once and calls this per
+        family member.
+        """
         return mix64(folded, self._function_seed(index))
 
     def hash_key_mod(self, key: Key, index: int, modulus: int) -> int:

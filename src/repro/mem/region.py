@@ -152,6 +152,29 @@ class MemoryRegion:
             )
         self._buffer[offset : offset + len(payload)] = payload
 
+    def write_offset_many(self, items) -> int:
+        """Batched local writes: ``(offset, payload)`` pairs in one call.
+
+        The multi-slot fast path behind :meth:`Collector.write_slots
+        <repro.collector.collector.Collector.write_slots>`: bounds are
+        still validated per item (a bad item raises before it is applied),
+        but buffer and size lookups are hoisted out of the loop.  Returns
+        the number of writes applied.
+        """
+        buffer = self._buffer
+        size = self.size
+        count = 0
+        for offset, payload in items:
+            end = offset + len(payload)
+            if offset < 0 or end > size:
+                raise RegionAccessError(
+                    f"local write [{offset}, +{len(payload)}) outside region "
+                    f"of size {size}"
+                )
+            buffer[offset:end] = payload
+            count += 1
+        return count
+
     def snapshot(self) -> bytes:
         """An immutable copy of the whole region (epoch persistence, tests)."""
         return bytes(self._buffer)

@@ -16,11 +16,12 @@ bytes: data packet -> INT accumulation -> mirror -> RDMA write -> query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.client import DartQueryClient
 from repro.core.config import DartConfig
 from repro.collector.collector import CollectorCluster
+from repro.fabric.fabric import Fabric, InlineFabric
 from repro.network.flows import Flow
 from repro.network.simulation import encode_path
 from repro.network.topology import FatTreeTopology
@@ -94,11 +95,14 @@ class PacketLevelIntNetwork:
         topology: FatTreeTopology,
         config: DartConfig,
         max_int_hops: int = 8,
+        fabric: Optional[Fabric] = None,
     ) -> None:
         self.topology = topology
         self.config = config
         self.max_int_hops = max_int_hops
         self.cluster = CollectorCluster(config)
+        self.fabric = fabric if fabric is not None else InlineFabric()
+        self.cluster.attach_to(self.fabric)
         self.client = DartQueryClient(config, reader=self.cluster.read_slot)
         plane = SwitchControlPlane(config)
 
@@ -124,7 +128,10 @@ class PacketLevelIntNetwork:
 
         executed = 0
         for collector_id, frame in frames:
-            if self.cluster[collector_id].receive_frame(frame):
+            result = self.fabric.send(collector_id, frame)
+            if result or result is None:
+                # None = deferred by a buffered fabric; count the frame as
+                # in flight, it executes at the next flush.
                 executed += 1
         return DeliveryResult(
             delivered_payload=delivered,

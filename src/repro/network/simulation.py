@@ -24,6 +24,7 @@ from repro.core.config import DartConfig
 from repro.core.policies import QueryResult, ReturnPolicy
 from repro.core.reporter import DartReporter
 from repro.collector.collector import CollectorCluster
+from repro.fabric.fabric import Fabric, InlineFabric
 from repro.network.flows import Flow
 from repro.network.topology import FatTreeTopology
 from repro.switch.control_plane import SwitchControlPlane
@@ -108,6 +109,10 @@ class IntSimulation:
         use the reporter fast path (default).
     loss:
         Optional report-loss model applied on the switch-to-collector hop.
+    fabric:
+        The transport report frames traverse in packet-level mode; defaults
+        to an :class:`~repro.fabric.InlineFabric`.  Loss drawn by ``loss``
+        is applied *before* the fabric, preserving seeded RNG sequences.
     """
 
     def __init__(
@@ -117,6 +122,7 @@ class IntSimulation:
         *,
         packet_level: bool = False,
         loss: Optional[LossModel] = None,
+        fabric: Optional[Fabric] = None,
     ) -> None:
         if config.value_bytes < 20:
             raise ValueError(
@@ -133,12 +139,21 @@ class IntSimulation:
         self.reports_sent = 0
 
         self._sinks: Dict[int, DartSwitch] = {}
+        self.fabric: Optional[Fabric] = None
         if packet_level:
+            self.fabric = fabric if fabric is not None else InlineFabric()
+            self.cluster.attach_to(self.fabric)
             plane = SwitchControlPlane(config)
             for node in topology.switches:
-                switch = DartSwitch(config, switch_id=node.switch_id)
+                switch = DartSwitch(
+                    config, switch_id=node.switch_id, fabric=self.fabric
+                )
                 plane.connect_switch(switch, self.cluster)
                 self._sinks[node.switch_id] = switch
+        elif fabric is not None:
+            raise ValueError(
+                "a fabric only carries RoCEv2 frames; pass packet_level=True"
+            )
 
     # ------------------------------------------------------------------
     # Traffic
@@ -162,7 +177,7 @@ class IntSimulation:
             sink = self._sinks[record.path[-1]]
             for collector_id, frame in sink.report(record.key, record.value):
                 if self.loss.deliver():
-                    self.cluster[collector_id].receive_frame(frame)
+                    self.fabric.send(collector_id, frame)
         else:
             for write in self.reporter.writes_for(record.key, record.value):
                 if self.loss.deliver():

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.addressing import DartAddressing
 from repro.core.config import DartConfig
+from repro.fabric.fabric import Fabric
 from repro.hashing.hash_family import Key, stable_key_bytes
 from repro.rdma.packets import (
     Bth,
@@ -70,9 +71,12 @@ class DartSwitch:
         switch_id: int,
         max_collectors: int = 65536,
         rng_seed: Optional[int] = None,
+        fabric: Optional[Fabric] = None,
     ) -> None:
         self.config = config
         self.switch_id = switch_id
+        #: The transport report frames egress into (see :meth:`bind_fabric`).
+        self.fabric = fabric
         self.addressing = DartAddressing(config)
         self._codec = config.slot_codec()
         self.counters = SwitchCounters()
@@ -138,6 +142,17 @@ class DartSwitch:
             )
         )
         self.psn_registers.write(collector_id, initial_psn)
+
+    def bind_fabric(self, fabric: Fabric) -> "DartSwitch":
+        """Connect this switch's egress to a telemetry fabric.
+
+        After binding, :meth:`report_into` and :meth:`report_single_into`
+        emit frames straight into the fabric -- the deployment-shaped path
+        -- while :meth:`report` keeps returning raw frames for tests and
+        wire-level tooling.  Returns ``self`` for chaining.
+        """
+        self.fabric = fabric
+        return self
 
     # ------------------------------------------------------------------
     # Data-plane: report crafting
@@ -212,6 +227,42 @@ class DartSwitch:
         frame = self._craft_frame(key, value, copy_index)
         self.counters.reports_emitted += 1
         return frame
+
+    # ------------------------------------------------------------------
+    # Data-plane: fabric egress
+    # ------------------------------------------------------------------
+
+    def _bound_fabric(self) -> Fabric:
+        if self.fabric is None:
+            raise RuntimeError(
+                "switch has no fabric bound; call bind_fabric() (or pass "
+                "fabric=... at construction) before report_into()"
+            )
+        return self.fabric
+
+    def report_into(self, key: Key, value: bytes) -> int:
+        """Craft the full redundant report and emit it into the fabric.
+
+        Returns the number of frames offered to the fabric.  Whether each
+        frame was executed is the fabric's business (inline transports
+        record it in their counters; buffered ones at flush time) --
+        exactly the fire-and-forget contract of the hardware prototype.
+        """
+        fabric = self._bound_fabric()
+        frames = self.report(key, value)
+        for collector_id, frame in frames:
+            fabric.send(collector_id, frame)
+        return len(frames)
+
+    def report_single_into(self, key: Key, value: bytes) -> Optional[bool]:
+        """Emit one RNG-chosen copy into the fabric (prototype behaviour).
+
+        Returns the fabric's delivery result: True/False for synchronous
+        transports, None when delivery is deferred.
+        """
+        fabric = self._bound_fabric()
+        collector_id, frame = self.report_single(key, value)
+        return fabric.send(collector_id, frame)
 
     # ------------------------------------------------------------------
     # Resource accounting (paper section 6 claims)

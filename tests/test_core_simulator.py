@@ -263,8 +263,6 @@ class TestChunkedSimulation:
     """simulate(chunk_size=...) must be exact, not approximate."""
 
     def test_chunked_identical_to_full(self):
-        import numpy as np
-
         spec = SimulationSpec(
             num_keys=50_000, num_slots=40_000, checksum_bits=8, seed=5
         )
@@ -280,8 +278,6 @@ class TestChunkedSimulation:
             simulate(spec, chunk_size=0)
 
     def test_chunked_respects_policies(self):
-        import numpy as np
-
         spec = SimulationSpec(
             num_keys=20_000,
             num_slots=10_000,

@@ -8,8 +8,6 @@ import importlib
 import inspect
 import pkgutil
 
-import pytest
-
 import repro
 
 PACKAGES = [
@@ -18,6 +16,7 @@ PACKAGES = [
     "repro.collector",
     "repro.core",
     "repro.experiments",
+    "repro.fabric",
     "repro.hashing",
     "repro.mem",
     "repro.network",

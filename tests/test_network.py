@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import DartConfig
-from repro.network.flows import Flow, FlowGenerator
+from repro.network.flows import FlowGenerator
 from repro.network.simulation import (
     IntSimulation,
     LossModel,

@@ -27,7 +27,6 @@ from repro.switch.p4.expr import (
     Param,
     as_expr,
 )
-from repro.switch.p4.interpreter import P4Program
 from repro.switch.p4.parser import (
     ExtractFixed,
     ExtractRest,

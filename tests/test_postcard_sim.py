@@ -1,7 +1,5 @@
 """Tests for postcard-mode simulation (repro.network.postcard_sim)."""
 
-import pytest
-
 from repro.core.config import DartConfig
 from repro.network.flows import FlowGenerator
 from repro.network.postcard_sim import PostcardSimulation, mode_comparison_rows

@@ -1,6 +1,5 @@
 """Tests for the host-side reliable requester (repro.rdma.requester)."""
 
-import random
 
 import pytest
 

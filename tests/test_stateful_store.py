@@ -14,9 +14,10 @@ Collisions between different keys may turn (2) into an empty return --
 that is the probabilistic design -- but can never violate (1) or (3).
 """
 
+import random
+
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
     invariant,
     rule,
@@ -78,8 +79,6 @@ class TestNicFuzz:
     never raise, never write memory."""
 
     def test_random_frames_never_crash(self):
-        import random
-
         from repro.mem.region import MemoryRegion
         from repro.rdma.nic import RdmaNic
         from repro.rdma.qp import QueuePair
@@ -98,8 +97,6 @@ class TestNicFuzz:
 
     def test_bitflipped_valid_frames_never_crash(self):
         """Mutations of a valid frame are dropped (iCRC) without writes."""
-        import random
-
         from repro.mem.region import MemoryRegion
         from repro.rdma.nic import RdmaNic
         from repro.rdma.packets import Bth, Opcode, Reth, RoceV2Packet
