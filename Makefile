@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-full examples lint ci all
+.PHONY: install test bench bench-obs experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -19,11 +19,16 @@ lint:
 	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-ci: lint
+ci: lint bench-obs
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Observability overhead gate: fails if enabled-mode metrics cost more
+# than 15% on the report_batch hot path (writes benchmarks/BENCH_obs.json).
+bench-obs:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -122,6 +122,58 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(["--full"] if args.full else [])
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core.config import DartConfig
+    from repro.collector.store import DartStore
+    from repro.fabric.fabric import BufferedFabric
+    from repro.fabric.impaired import ImpairedFabric
+
+    # A fresh registry/tracer so the snapshot covers exactly this pipeline;
+    # the previous defaults are restored before returning.
+    registry = obs.MetricsRegistry(enabled=True)
+    tracer = obs.Tracer()
+    previous_registry = obs.set_registry(registry)
+    previous_tracer = obs.set_tracer(tracer)
+    try:
+        config = DartConfig(
+            slots_per_collector=args.slots,
+            redundancy=args.redundancy,
+            seed=args.seed,
+        )
+        fabric = ImpairedFabric(
+            BufferedFabric(flush_threshold=args.flush_threshold),
+            loss=args.loss,
+            duplication=args.duplication,
+            reordering=args.reordering,
+            seed=args.seed,
+        )
+        store = DartStore(config, packet_level=True, fabric=fabric)
+        keys = [("10.0.0.1", f"10.0.1.{i % 250}", 5000 + i, 80, 6)
+                for i in range(args.keys)]
+        store.put_many((key, f"v{i}".encode()) for i, key in enumerate(keys))
+        fabric.flush()
+        for key in keys:
+            store.get(key)
+            store.get(key, policy=ReturnPolicy.FIRST_MATCH)
+
+        if args.format == "prom":
+            print(registry.to_prometheus(), end="")
+        elif args.format == "json":
+            print(registry.to_json(indent=2))
+        else:
+            print(obs.render_dashboard(registry))
+        if args.trace:
+            print()
+            print(f"== first {args.trace} report traces ==")
+            for record in tracer.traces(kind="switch_report")[: args.trace]:
+                print(record.render())
+        return 0
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -168,6 +220,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments_p.add_argument("--full", action="store_true")
     experiments_p.set_defaults(func=_cmd_experiments)
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="run an instrumented packet-level pipeline, print its health",
+    )
+    obs_p.add_argument("--keys", type=int, default=2000)
+    obs_p.add_argument("--slots", type=int, default=4096)
+    obs_p.add_argument("--redundancy", type=int, default=2)
+    obs_p.add_argument("--loss", type=float, default=0.02)
+    obs_p.add_argument("--duplication", type=float, default=0.01)
+    obs_p.add_argument("--reordering", type=float, default=0.01)
+    obs_p.add_argument("--flush-threshold", type=int, default=64)
+    obs_p.add_argument("--seed", type=int, default=0)
+    obs_p.add_argument(
+        "--format", choices=["table", "prom", "json"], default="table"
+    )
+    obs_p.add_argument(
+        "--trace", type=int, default=0, metavar="K",
+        help="also print the first K per-report traces",
+    )
+    obs_p.set_defaults(func=_cmd_obs)
     return parser
 
 

@@ -16,9 +16,12 @@ commute through the atomic adds.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.config import DartConfig
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.fabric.fabric import Fabric, InlineFabric
 from repro.hashing.hash_family import HashFamily, Key
 from repro.mem.region import MemoryRegion
@@ -77,6 +80,20 @@ class CounterStore:
         )
         self.fabric = fabric if fabric is not None else InlineFabric()
         self.fabric.attach(COUNTER_ENDPOINT_ID, self.nic)
+        registry = obs.get_registry()
+        labels = registry.instance_labels("CounterStore")
+        #: Keys counted through the packet path.
+        self.c_adds = registry.counter("counter_store_adds", labels=labels)
+        #: Count estimates served.
+        self.c_estimates = registry.counter(
+            "counter_store_estimates", labels=labels
+        )
+        self._h_add_many_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": "counter_add_many"},
+            help="wall-clock seconds per batched FETCH_ADD pass",
+        )
         self._psn = 0
 
     def __repr__(self) -> str:
@@ -117,6 +134,7 @@ class CounterStore:
 
     def add(self, key: Key, amount: int = 1) -> None:
         """Count ``key`` through the full packet path (switch -> NIC -> DMA)."""
+        self.c_adds.inc()
         for frame in self.craft_add_frames(key, amount):
             self.fabric.send(COUNTER_ENDPOINT_ID, frame)
 
@@ -128,11 +146,19 @@ class CounterStore:
         deferring fabrics apply everything before returning).  Returns the
         number of frames offered.
         """
+        timed = self._h_add_many_seconds.enabled
+        if timed:
+            started = perf_counter()
         frames: List[bytes] = []
+        count = 0
         for key, amount in items:
             frames.extend(self.craft_add_frames(key, amount))
+            count += 1
+        self.c_adds.inc(count)
         self.fabric.send_many(COUNTER_ENDPOINT_ID, frames)
         self.fabric.flush()
+        if timed:
+            self._h_add_many_seconds.observe(perf_counter() - started)
         return len(frames)
 
     # ------------------------------------------------------------------
@@ -141,6 +167,7 @@ class CounterStore:
 
     def estimate(self, key: Key) -> int:
         """Count estimate for ``key`` (an upper bound, as in count-min)."""
+        self.c_estimates.inc()
         values = []
         for row in range(self.rows):
             address = self._cell_address(key, row)

@@ -17,9 +17,12 @@ fan-out is small.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.addressing import DartAddressing
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.core.config import DartConfig
 from repro.core.policies import QueryResult, ReturnPolicy, resolve
 from repro.collector.collector import CollectorCluster
@@ -82,7 +85,6 @@ class RemoteQueryClient:
         # ``max_retries`` times with fresh PSNs.
         self._loss = loss
         self.max_retries = max_retries
-        self.retries_performed = 0
         self.config = config
         self.cluster = cluster
         if fabric is None:
@@ -93,8 +95,29 @@ class RemoteQueryClient:
         self.policy = policy
         self.mac = f"02:0e:{(operator_id >> 8) & 0xFF:02x}:{operator_id & 0xFF:02x}:00:01"
         self.ip = f"192.168.{(operator_id >> 8) & 0xFF}.{operator_id & 0xFF}"
-        self.queries_executed = 0
-        self.read_requests_sent = 0
+        registry = obs.get_registry()
+        self._registry = registry
+        self._labels = registry.instance_labels("RemoteQueryClient")
+        #: Key queries executed over one-sided READs.
+        self.c_queries = registry.counter(
+            "remote_queries_executed", labels=self._labels
+        )
+        #: READ request frames issued (retries included).
+        self.c_reads_sent = registry.counter(
+            "remote_read_requests", labels=self._labels
+        )
+        #: READ retries after a lost request or response.
+        self.c_retries = registry.counter(
+            "remote_read_retries", labels=self._labels
+        )
+        #: Per-policy (total, answered) counters, created on first use.
+        self._policy_counters: Dict[str, Tuple[object, object]] = {}
+        self._h_query_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": "remote_query"},
+            help="wall-clock seconds per one-sided remote query",
+        )
 
         self._qps: Dict[int, int] = {}  # collector -> our QP number there
         self._psns: Dict[int, int] = {}
@@ -108,6 +131,33 @@ class RemoteQueryClient:
     def __repr__(self) -> str:
         return f"RemoteQueryClient(ip={self.ip!r}, policy={self.policy})"
 
+    @property
+    def queries_executed(self) -> int:
+        """Key queries executed over one-sided READs (registry-backed)."""
+        return self.c_queries.value
+
+    @property
+    def read_requests_sent(self) -> int:
+        """READ request frames issued, retries included (registry-backed)."""
+        return self.c_reads_sent.value
+
+    @property
+    def retries_performed(self) -> int:
+        """READ retries after a lost request or response (registry-backed)."""
+        return self.c_retries.value
+
+    def _counters_for(self, policy: ReturnPolicy):
+        """The (total, answered) counter pair for one return policy."""
+        pair = self._policy_counters.get(policy.name)
+        if pair is None:
+            labels = self._labels + (("policy", policy.name),)
+            pair = (
+                self._registry.counter("queries_total", labels=labels),
+                self._registry.counter("queries_answered", labels=labels),
+            )
+            self._policy_counters[policy.name] = pair
+        return pair
+
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
@@ -116,7 +166,7 @@ class RemoteQueryClient:
         """One RDMA READ for one slot, with retries; None if all failed."""
         for attempt in range(self.max_retries + 1):
             if attempt:
-                self.retries_performed += 1
+                self.c_retries.inc()
             payload = self._read_once(collector_id, slot_index)
             if payload is not None:
                 return payload
@@ -145,7 +195,7 @@ class RemoteQueryClient:
                 dma_length=self.config.slot_bytes,
             ),
         )
-        self.read_requests_sent += 1
+        self.c_reads_sent.inc()
         if self._loss is not None and not self._loss.deliver():
             return None  # request lost on the wire
         if self.fabric.send(collector_id, request.pack()) is False:
@@ -174,6 +224,9 @@ class RemoteQueryClient:
         """The standard four-step DART query, executed over the wire."""
         if policy is None:
             policy = self.policy
+        timed = self._h_query_seconds.enabled
+        if timed:
+            started = perf_counter()
         collector_id = self.addressing.collector_of(key)
         expected_checksum = self.addressing.checksum_of(key)
         matching: List[bytes] = []
@@ -187,8 +240,15 @@ class RemoteQueryClient:
             stored_checksum, value = self._codec.decode(raw)
             if stored_checksum == expected_checksum:
                 matching.append(value)
-        self.queries_executed += 1
-        return resolve(matching, policy, slots_read=slots_read)
+        self.c_queries.inc()
+        result = resolve(matching, policy, slots_read=slots_read)
+        total, answered = self._counters_for(policy)
+        total.inc()
+        if result.answered:
+            answered.inc()
+        if timed:
+            self._h_query_seconds.observe(perf_counter() - started)
+        return result
 
     def query_value(self, key: Key, policy: Optional[ReturnPolicy] = None) -> Optional[bytes]:
         """Convenience: the value, or ``None`` on an empty return."""

@@ -14,9 +14,12 @@ used by integration tests and the prototype benchmarks.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional, Tuple
 
+from repro import obs
 from repro.core.client import DartQueryClient
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.core.config import DartConfig
 from repro.core.policies import QueryResult, ReturnPolicy
 from repro.core.reporter import DartReporter
@@ -84,8 +87,28 @@ class DartStore:
             SwitchControlPlane(self.config).provision(
                 self._switch, self.cluster.endpoints()
             )
-        self.puts = 0
-        self.gets = 0
+        registry = obs.get_registry()
+        labels = registry.instance_labels("DartStore")
+        #: Telemetry reports stored through this facade.
+        self.c_puts = registry.counter("store_puts", labels=labels)
+        #: Key queries served through this facade.
+        self.c_gets = registry.counter("store_gets", labels=labels)
+        self._h_put_many_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": "store_put_many"},
+            help="wall-clock seconds per batched put",
+        )
+
+    @property
+    def puts(self) -> int:
+        """Telemetry reports stored through this facade (registry-backed)."""
+        return self.c_puts.value
+
+    @property
+    def gets(self) -> int:
+        """Key queries served through this facade (registry-backed)."""
+        return self.c_gets.value
 
     def __repr__(self) -> str:
         mode = "packet-level" if self._switch is not None else "in-process"
@@ -104,7 +127,7 @@ class DartStore:
         next flush.  Later ``put``s of colliding keys may overwrite copies
         -- by design.
         """
-        self.puts += 1
+        self.c_puts.inc()
         if self._switch is not None:
             frames = self._switch.report(key, value)
             fabric = self.fabric
@@ -135,6 +158,9 @@ class DartStore:
         Returns the number of slot copies written (frames offered in
         packet-level mode).
         """
+        timed = self._h_put_many_seconds.enabled
+        if timed:
+            started = perf_counter()
         if self._switch is not None:
             switch = self._switch
             offered = 0
@@ -142,13 +168,18 @@ class DartStore:
             for key, value in items:
                 offered += switch.report_into(key, value)
                 count += 1
-            self.puts += count
+            self.c_puts.inc(count)
             self.fabric.flush()
+            if timed:
+                self._h_put_many_seconds.observe(perf_counter() - started)
             return offered
         items = list(items)
-        self.puts += len(items)
+        self.c_puts.inc(len(items))
         writes = self.reporter.report_batch(items)
-        return self.cluster.write_slots(writes)
+        written = self.cluster.write_slots(writes)
+        if timed:
+            self._h_put_many_seconds.observe(perf_counter() - started)
+        return written
 
     # ------------------------------------------------------------------
     # Read path
@@ -156,7 +187,7 @@ class DartStore:
 
     def get(self, key: Key, policy: Optional[ReturnPolicy] = None) -> QueryResult:
         """Query a key; see :class:`~repro.core.policies.QueryResult`."""
-        self.gets += 1
+        self.c_gets.inc()
         return self.client.query(key, policy=policy)
 
     def get_value(self, key: Key, policy: Optional[ReturnPolicy] = None) -> Optional[bytes]:

@@ -16,9 +16,12 @@ arbitrary slot sizes is :func:`repro.core.simulator.simulate_cas_strategy`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional, Tuple
 
+from repro import obs
 from repro.core.addressing import DartAddressing
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.core.config import DartConfig
 from repro.fabric.fabric import Fabric, InlineFabric
 from repro.mem.region import MemoryRegion
@@ -104,7 +107,27 @@ class CasDartStore:
         )
         self.fabric = fabric if fabric is not None else InlineFabric()
         self.fabric.attach(CAS_ENDPOINT_ID, self.nic)
-        self.puts = 0
+        registry = obs.get_registry()
+        labels = registry.instance_labels("CasDartStore")
+        #: WRITE+CAS puts issued.
+        self.c_puts = registry.counter("cas_store_puts", labels=labels)
+        #: Queries served (with and without a value).
+        self.c_gets = registry.counter("cas_store_gets", labels=labels)
+        #: Queries that returned a value.
+        self.c_gets_answered = registry.counter(
+            "cas_store_gets_answered", labels=labels
+        )
+        self._h_put_many_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": "cas_put_many"},
+            help="wall-clock seconds per batched WRITE+CAS put",
+        )
+
+    @property
+    def puts(self) -> int:
+        """WRITE+CAS puts issued (registry-backed)."""
+        return self.c_puts.value
 
     def __repr__(self) -> str:
         return f"CasDartStore(num_slots={self.num_slots}, puts={self.puts})"
@@ -126,7 +149,7 @@ class CasDartStore:
         write, cas = self._craft_put_frames(key, value)
         self.fabric.send(CAS_ENDPOINT_ID, write)
         self.fabric.send(CAS_ENDPOINT_ID, cas)
-        self.puts += 1
+        self.c_puts.inc()
 
     def put_many(self, items: Iterable[Tuple[Key, int]]) -> int:
         """Batched puts: craft all frames, then one fabric pass + flush.
@@ -135,6 +158,9 @@ class CasDartStore:
         its CAS -- the ordering the strategy depends on.  Returns the
         number of frames offered.
         """
+        timed = self._h_put_many_seconds.enabled
+        if timed:
+            started = perf_counter()
         frames = []
         count = 0
         for key, value in items:
@@ -142,7 +168,9 @@ class CasDartStore:
             count += 1
         self.fabric.send_many(CAS_ENDPOINT_ID, frames)
         self.fabric.flush()
-        self.puts += count
+        self.c_puts.inc(count)
+        if timed:
+            self._h_put_many_seconds.observe(perf_counter() - started)
         return len(frames)
 
     def _craft_put_frames(self, key: Key, value: int) -> Tuple[bytes, bytes]:
@@ -190,6 +218,8 @@ class CasDartStore:
             checksum, value = unpack_compact_slot(word)
             if checksum == expected:
                 matches.append(value)
+        self.c_gets.inc()
         if not matches:
             return None
+        self.c_gets_answered.inc()
         return matches[0]

@@ -15,9 +15,12 @@ packet-level collector model and historical epoch archives.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.addressing import DartAddressing
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.core.config import DartConfig
 from repro.core.policies import QueryResult, ReturnPolicy, resolve
 from repro.hashing.hash_family import Key
@@ -52,7 +55,39 @@ class DartQueryClient:
         self._codec = config.slot_codec()
         self._reader = reader
         self.policy = policy
-        self.queries_executed = 0
+        registry = obs.get_registry()
+        self._registry = registry
+        self._tracer = obs.get_tracer()
+        self._labels = registry.instance_labels("DartQueryClient")
+        #: Queries executed, across all policies.
+        self.c_queries = registry.counter(
+            "client_queries_executed", labels=self._labels
+        )
+        #: Per-policy (total, answered) counters, created on first use.
+        self._policy_counters: Dict[str, Tuple[object, object]] = {}
+        self._h_query_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": "query"},
+            help="wall-clock seconds per key query",
+        )
+
+    @property
+    def queries_executed(self) -> int:
+        """Queries executed across all policies (registry-backed)."""
+        return self.c_queries.value
+
+    def _counters_for(self, policy: ReturnPolicy):
+        """The (total, answered) counter pair for one return policy."""
+        pair = self._policy_counters.get(policy.name)
+        if pair is None:
+            labels = self._labels + (("policy", policy.name),)
+            pair = (
+                self._registry.counter("queries_total", labels=labels),
+                self._registry.counter("queries_answered", labels=labels),
+            )
+            self._policy_counters[policy.name] = pair
+        return pair
 
     def __repr__(self) -> str:
         return f"DartQueryClient(config={self.config!r}, policy={self.policy})"
@@ -63,6 +98,9 @@ class DartQueryClient:
         """Run a key query and return the resolved result."""
         if policy is None:
             policy = self.policy
+        timed = self._h_query_seconds.enabled
+        if timed:
+            started = perf_counter()
         collector = self.addressing.collector_of(key)
         expected_checksum = self.addressing.checksum_of(key)
 
@@ -76,8 +114,23 @@ class DartQueryClient:
             if stored_checksum == expected_checksum:
                 matching.append(value)
 
-        self.queries_executed += 1
-        return resolve(matching, policy, slots_read=slots_read)
+        self.c_queries.inc()
+        result = resolve(matching, policy, slots_read=slots_read)
+        total, answered = self._counters_for(policy)
+        total.inc()
+        if result.answered:
+            answered.inc()
+        if timed:
+            self._h_query_seconds.observe(perf_counter() - started)
+        tracer = self._tracer
+        if tracer.enabled:
+            trace_id = tracer.begin("query", key=repr(key))
+            tracer.span(
+                trace_id,
+                "client.query",
+                f"policy={policy.name} outcome={result.outcome.name}",
+            )
+        return result
 
     def query_value(
         self, key: Key, policy: Optional[ReturnPolicy] = None

@@ -11,9 +11,12 @@ apply them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.addressing import DartAddressing
+from repro.obs.metrics import DEPTH_BUCKETS, LATENCY_BUCKETS
 from repro.core.config import DartConfig
 from repro.hashing.hash_family import Key
 
@@ -60,8 +63,34 @@ class DartReporter:
                 f"[1, {config.redundancy}]"
             )
         self.redundancy = redundancy
-        self.reports_generated = 0
-        self.writes_generated = 0
+        registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        labels = registry.instance_labels("DartReporter")
+        #: Telemetry reports expanded into slot writes.
+        self.c_reports = registry.counter("reporter_reports", labels=labels)
+        #: Redundant slot writes generated.
+        self.c_writes = registry.counter("reporter_writes", labels=labels)
+        self._h_batch_reports = registry.histogram(
+            "reporter_batch_reports",
+            DEPTH_BUCKETS,
+            help="reports per report_batch call",
+        )
+        self._h_batch_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": "report_batch"},
+            help="wall-clock seconds per report_batch call",
+        )
+
+    @property
+    def reports_generated(self) -> int:
+        """Telemetry reports expanded into slot writes (registry-backed)."""
+        return self.c_reports.value
+
+    @property
+    def writes_generated(self) -> int:
+        """Redundant slot writes generated (registry-backed)."""
+        return self.c_writes.value
 
     def __repr__(self) -> str:
         return (
@@ -91,8 +120,14 @@ class DartReporter:
             )
             for n in range(self.redundancy)
         ]
-        self.reports_generated += 1
-        self.writes_generated += len(writes)
+        self.c_reports.inc()
+        self.c_writes.inc(len(writes))
+        tracer = self._tracer
+        if tracer.enabled:
+            trace_id = tracer.begin("report", key=repr(key))
+            tracer.span(
+                trace_id, "reporter.writes_for", f"copies={len(writes)}"
+            )
         return writes
 
     def report_batch(
@@ -113,6 +148,11 @@ class DartReporter:
         resolve = self.addressing.resolve
         encode = self._codec.encode
         redundancy = self.redundancy
+        tracer = self._tracer
+        trace = tracer.enabled
+        timed = self._h_batch_seconds.enabled
+        if timed:
+            started = perf_counter()
         writes: List[SlotWrite] = []
         append = writes.append
         reports = 0
@@ -131,8 +171,16 @@ class DartReporter:
                     )
                 )
             reports += 1
-        self.reports_generated += reports
-        self.writes_generated += len(writes)
+            if trace:
+                trace_id = tracer.begin("report", key=repr(key))
+                tracer.span(
+                    trace_id, "reporter.report_batch", f"copies={redundancy}"
+                )
+        self.c_reports.inc(reports)
+        self.c_writes.inc(len(writes))
+        if timed:
+            self._h_batch_seconds.observe(perf_counter() - started)
+            self._h_batch_reports.observe(reports)
         return writes
 
     def write_for_copy(self, key: Key, value: bytes, copy_index: int) -> SlotWrite:
@@ -145,7 +193,7 @@ class DartReporter:
             raise ValueError(
                 f"copy_index {copy_index} outside [0, {self.config.redundancy})"
             )
-        self.writes_generated += 1
+        self.c_writes.inc()
         return SlotWrite(
             collector_id=self.addressing.collector_of(key),
             slot_index=self.addressing.slot_index(key, copy_index),

@@ -10,13 +10,21 @@ switch-side collector lookup table and the fabric agree on addressing.
 Delivery semantics are deliberately narrow: a fabric moves opaque wire
 bytes.  It never parses frames, so everything the RNIC validates (iCRC,
 rkey, QP, PSN) still happens at the endpoint, exactly as on real hardware.
+
+Observability: every fabric registers its frame accounting with the
+process :class:`~repro.obs.MetricsRegistry` at construction
+(:class:`FabricCounters` is a thin view over those registry counters), and
+delivery records per-frame spans when a real tracer is installed.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from time import perf_counter
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro import obs
+from repro.obs.metrics import DEPTH_BUCKETS, LATENCY_BUCKETS, SIZE_BUCKETS
 
 try:  # pragma: no cover - Protocol is typing-only convenience on 3.9+
     from typing import Protocol, runtime_checkable
@@ -41,9 +49,13 @@ class FabricPort(Protocol):
         ...
 
 
-@dataclass
 class FabricCounters:
     """Frame accounting for one fabric (senders' side of the seam).
+
+    A thin view over per-instance counters in the process metrics registry
+    -- reads return live integers, so the pre-registry API (and the
+    impairment property tests built on it) keeps working while exposition,
+    snapshot/diff and fleet-wide totals come from the registry.
 
     The invariant the impairment tests enforce:
     ``frames_delivered == frames_executed + frames_rejected`` and, for the
@@ -52,34 +64,121 @@ class FabricCounters:
     between a sender and the NIC counters.
     """
 
-    #: Frames handed to the fabric by senders.
-    frames_offered: int = 0
-    #: Frames handed to an endpoint port (after buffering/impairments).
-    frames_delivered: int = 0
-    #: Delivered frames the endpoint executed (port returned True).
-    frames_executed: int = 0
-    #: Delivered frames the endpoint dropped (port returned False).
-    frames_rejected: int = 0
-    #: Frames dropped in flight by an impairment (never delivered).
-    frames_dropped_loss: int = 0
-    #: Extra deliveries injected by a duplication impairment.
-    frames_duplicated: int = 0
-    #: Frames delivered out of order by a reordering impairment.
-    frames_reordered: int = 0
-    #: Explicit and threshold-triggered flushes performed.
-    flushes: int = 0
+    #: (attribute, registry metric name) for every accounting series.
+    FIELDS = (
+        ("frames_offered", "fabric_frames_offered"),
+        ("frames_delivered", "fabric_frames_delivered"),
+        ("frames_executed", "fabric_frames_executed"),
+        ("frames_rejected", "fabric_frames_rejected"),
+        ("frames_dropped_loss", "fabric_frames_dropped_loss"),
+        ("frames_duplicated", "fabric_frames_duplicated"),
+        ("frames_reordered", "fabric_frames_reordered"),
+        ("flushes", "fabric_flushes"),
+    )
+
+    def __init__(self, registry=None, kind: str = "Fabric") -> None:
+        if registry is None:
+            registry = obs.get_registry()
+        labels = registry.instance_labels(kind)
+        #: Frames handed to the fabric by senders.
+        self.c_offered = registry.counter("fabric_frames_offered", labels=labels)
+        #: Frames handed to an endpoint port (after buffering/impairments).
+        self.c_delivered = registry.counter("fabric_frames_delivered", labels=labels)
+        #: Delivered frames the endpoint executed (port returned True).
+        self.c_executed = registry.counter("fabric_frames_executed", labels=labels)
+        #: Delivered frames the endpoint dropped (port returned False).
+        self.c_rejected = registry.counter("fabric_frames_rejected", labels=labels)
+        #: Frames dropped in flight by an impairment (never delivered).
+        self.c_dropped_loss = registry.counter(
+            "fabric_frames_dropped_loss", labels=labels
+        )
+        #: Extra deliveries injected by a duplication impairment.
+        self.c_duplicated = registry.counter(
+            "fabric_frames_duplicated", labels=labels
+        )
+        #: Frames delivered out of order by a reordering impairment.
+        self.c_reordered = registry.counter(
+            "fabric_frames_reordered", labels=labels
+        )
+        #: Explicit and threshold-triggered flushes performed.
+        self.c_flushes = registry.counter("fabric_flushes", labels=labels)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name, _metric in self.FIELDS
+        )
+        return f"FabricCounters({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality over all accounting fields (the dataclass-era
+        contract the determinism tests rely on)."""
+        if not isinstance(other, FabricCounters):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name, _metric in self.FIELDS
+        )
+
+    @property
+    def frames_offered(self) -> int:
+        """Frames handed to the fabric by senders."""
+        return self.c_offered.value
+
+    @property
+    def frames_delivered(self) -> int:
+        """Frames handed to an endpoint port (after buffering/impairments)."""
+        return self.c_delivered.value
+
+    @property
+    def frames_executed(self) -> int:
+        """Delivered frames the endpoint executed (port returned True)."""
+        return self.c_executed.value
+
+    @property
+    def frames_rejected(self) -> int:
+        """Delivered frames the endpoint dropped (port returned False)."""
+        return self.c_rejected.value
+
+    @property
+    def frames_dropped_loss(self) -> int:
+        """Frames dropped in flight by an impairment (never delivered)."""
+        return self.c_dropped_loss.value
+
+    @property
+    def frames_duplicated(self) -> int:
+        """Extra deliveries injected by a duplication impairment."""
+        return self.c_duplicated.value
+
+    @property
+    def frames_reordered(self) -> int:
+        """Frames delivered out of order by a reordering impairment."""
+        return self.c_reordered.value
+
+    @property
+    def flushes(self) -> int:
+        """Explicit and threshold-triggered flushes performed."""
+        return self.c_flushes.value
 
 
 class Fabric:
     """Base transport: endpoint registry plus the delivery protocol.
 
     Subclasses implement :meth:`send`; the base class provides endpoint
-    bookkeeping, batched :meth:`send_many`, and the response-path
-    :meth:`poll` that the one-sided READ flow uses.
+    bookkeeping, batched :meth:`send_many`, the response-path :meth:`poll`
+    that the one-sided READ flow uses, and the shared observability
+    plumbing (registry counters, frame-size histogram, tracer spans).
     """
 
     def __init__(self) -> None:
-        self.counters = FabricCounters()
+        registry = obs.get_registry()
+        self._registry = registry
+        self._tracer = obs.get_tracer()
+        self.counters = FabricCounters(registry, kind=type(self).__name__)
+        self._h_frame_bytes = registry.histogram(
+            "fabric_frame_bytes",
+            SIZE_BUCKETS,
+            help="wire frame sizes offered to the fabric",
+        )
         self._ports: "OrderedDict[int, FabricPort]" = OrderedDict()
 
     def __repr__(self) -> str:
@@ -162,6 +261,12 @@ class Fabric:
     # Hooks for subclasses
     # ------------------------------------------------------------------
 
+    def _observe_offered(self, frame: bytes) -> None:
+        """Record one offered frame's size (skipped when metrics are off)."""
+        histogram = self._h_frame_bytes
+        if histogram.enabled:
+            histogram.observe(len(frame))
+
     def _flush_endpoint(self, endpoint_id: int) -> int:
         """Deliver frames in flight toward one endpoint (default: none)."""
         return 0
@@ -170,25 +275,39 @@ class Fabric:
         """Hand one frame to the endpoint port, keeping the counters exact."""
         executed = self.port(endpoint_id).receive_frame(frame)
         counters = self.counters
-        counters.frames_delivered += 1
+        counters.c_delivered.inc()
         if executed:
-            counters.frames_executed += 1
+            counters.c_executed.inc()
         else:
-            counters.frames_rejected += 1
+            counters.c_rejected.inc()
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.frame_span(
+                frame,
+                "fabric.deliver",
+                f"{type(self).__name__}:"
+                + ("executed" if executed else "rejected"),
+            )
         return executed
 
     def _deliver_many(self, endpoint_id: int, frames: List[bytes]) -> int:
         """Bulk-hand frames to the endpoint, via its batched path if any."""
         port = self.port(endpoint_id)
+        tracer = self._tracer
+        if tracer.enabled:
+            for frame in frames:
+                tracer.frame_span(
+                    frame, "fabric.deliver", f"{type(self).__name__}:batched"
+                )
         ingest_many = getattr(port, "ingest_many", None)
         if ingest_many is not None:
             executed = ingest_many(frames)
         else:
             executed = sum(1 for frame in frames if port.receive_frame(frame))
         counters = self.counters
-        counters.frames_delivered += len(frames)
-        counters.frames_executed += executed
-        counters.frames_rejected += len(frames) - executed
+        counters.c_delivered.inc(len(frames))
+        counters.c_executed.inc(executed)
+        counters.c_rejected.inc(len(frames) - executed)
         return executed
 
 
@@ -203,13 +322,17 @@ class InlineFabric(Fabric):
 
     def send(self, endpoint_id: int, frame: bytes) -> bool:
         """Deliver one frame now; returns whether it was executed."""
-        self.counters.frames_offered += 1
+        self.counters.c_offered.inc()
+        self._observe_offered(frame)
         return self._deliver(endpoint_id, frame)
 
     def send_many(self, endpoint_id: int, frames: Iterable[bytes]) -> int:
         """Deliver a batch now via the endpoint's bulk path."""
         frames = list(frames)
-        self.counters.frames_offered += len(frames)
+        self.counters.c_offered.inc(len(frames))
+        if self._h_frame_bytes.enabled:
+            for frame in frames:
+                self._h_frame_bytes.observe(len(frame))
         return self._deliver_many(endpoint_id, frames)
 
 
@@ -222,6 +345,11 @@ class BufferedFabric(Fabric):
     is preserved per link, so per-QP PSN sequences arrive intact and the
     flushed result is byte-identical to inline delivery -- the fabric
     equivalence suite asserts exactly that.
+
+    Queue observability: each enqueue raises the ``fabric_queue_depth_hwm``
+    high-water-mark gauge, and every flush reports the depth it drained via
+    the ``fabric_queue_depth`` gauge and the ``fabric_flush_frames``
+    histogram, so threshold tuning is visible without instrumenting tests.
 
     Parameters
     ----------
@@ -238,6 +366,29 @@ class BufferedFabric(Fabric):
         super().__init__()
         self.flush_threshold = flush_threshold
         self._queues: Dict[int, Deque[bytes]] = {}
+        registry = self._registry
+        labels = registry.instance_labels("BufferedFabricQueue")
+        self._g_depth = registry.gauge(
+            "fabric_queue_depth",
+            labels=labels,
+            help="queue depth observed at flush time",
+        )
+        self._g_depth_hwm = registry.gauge(
+            "fabric_queue_depth_hwm",
+            labels=labels,
+            help="deepest per-link queue ever observed",
+        )
+        self._h_flush_frames = registry.histogram(
+            "fabric_flush_frames",
+            DEPTH_BUCKETS,
+            help="frames drained per flush",
+        )
+        self._h_flush_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": "fabric_flush"},
+            help="wall-clock seconds per per-link flush",
+        )
 
     def __repr__(self) -> str:
         return (
@@ -245,17 +396,27 @@ class BufferedFabric(Fabric):
             f"pending={self.pending()}, threshold={self.flush_threshold})"
         )
 
+    @property
+    def queue_depth_high_water(self) -> int:
+        """The deepest any per-link queue has ever been (registry-backed)."""
+        return int(self._g_depth_hwm.value)
+
+    @property
+    def last_flush_depth(self) -> int:
+        """Queue depth reported by the most recent per-link flush."""
+        return int(self._g_depth.value)
+
     def send(self, endpoint_id: int, frame: bytes) -> Optional[bool]:
         """Queue one frame; delivery happens at the next (auto-)flush."""
         self.port(endpoint_id)  # fail fast on unknown endpoints
-        self.counters.frames_offered += 1
+        self.counters.c_offered.inc()
+        self._observe_offered(frame)
         queue = self._queues.setdefault(endpoint_id, deque())
         queue.append(frame)
-        if (
-            self.flush_threshold is not None
-            and len(queue) >= self.flush_threshold
-        ):
-            self.counters.flushes += 1
+        depth = len(queue)
+        self._g_depth_hwm.set_max(depth)
+        if self.flush_threshold is not None and depth >= self.flush_threshold:
+            self.counters.c_flushes.inc()
             self._flush_endpoint(endpoint_id)
         return None
 
@@ -266,21 +427,27 @@ class BufferedFabric(Fabric):
         self.port(endpoint_id)
         queue = self._queues.setdefault(endpoint_id, deque())
         count = 0
+        observe = (
+            self._h_frame_bytes.observe if self._h_frame_bytes.enabled else None
+        )
         for frame in frames:
             queue.append(frame)
             count += 1
-        self.counters.frames_offered += count
+            if observe is not None:
+                observe(len(frame))
+        self.counters.c_offered.inc(count)
+        self._g_depth_hwm.set_max(len(queue))
         if (
             self.flush_threshold is not None
             and len(queue) >= self.flush_threshold
         ):
-            self.counters.flushes += 1
+            self.counters.c_flushes.inc()
             self._flush_endpoint(endpoint_id)
         return None
 
     def flush(self) -> int:
         """Drain every link in attach order; returns frames delivered."""
-        self.counters.flushes += 1
+        self.counters.c_flushes.inc()
         return sum(
             self._flush_endpoint(endpoint_id)
             for endpoint_id in list(self._queues)
@@ -296,14 +463,26 @@ class BufferedFabric(Fabric):
         return len(queue) if queue else 0
 
     def _flush_endpoint(self, endpoint_id: int) -> int:
-        """Drain one link through the endpoint's bulk ingest path."""
+        """Drain one link through the endpoint's bulk ingest path.
+
+        Reports the drained depth on the ``fabric_queue_depth`` gauge and
+        the ``fabric_flush_frames`` histogram before delivering.
+        """
         queue = self._queues.get(endpoint_id)
         if not queue:
             return 0
         frames = list(queue)
         queue.clear()
+        depth = len(frames)
+        self._g_depth.set(depth)
+        timed = self._h_flush_seconds.enabled
+        if timed:
+            self._h_flush_frames.observe(depth)
+            started = perf_counter()
         self._deliver_many(endpoint_id, frames)
-        return len(frames)
+        if timed:
+            self._h_flush_seconds.observe(perf_counter() - started)
+        return depth
 
 
 def drain_pairs(

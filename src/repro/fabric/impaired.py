@@ -121,9 +121,13 @@ class ImpairedFabric(Fabric):
         the frame's own delivery.
         """
         counters = self.counters
-        counters.frames_offered += 1
+        counters.c_offered.inc()
+        self._observe_offered(frame)
+        tracer = self._tracer
         if self._lost():
-            counters.frames_dropped_loss += 1
+            counters.c_dropped_loss.inc()
+            if tracer.enabled:
+                tracer.frame_span(frame, "fabric.impair", "dropped:loss")
             return False
 
         held = self._held.pop(endpoint_id, None)
@@ -132,15 +136,21 @@ class ImpairedFabric(Fabric):
         ):
             # Hold this frame; the next frame to this endpoint overtakes it.
             self._held[endpoint_id] = frame
-            counters.frames_reordered += 1
+            counters.c_reordered.inc()
+            if tracer.enabled:
+                tracer.frame_span(frame, "fabric.impair", "held:reorder")
             return None
 
         result = self.inner.send(endpoint_id, frame)
         if held is not None:
             # The held frame lands *after* the newer one: an adjacent swap.
+            if tracer.enabled:
+                tracer.frame_span(held, "fabric.impair", "released:reorder")
             self.inner.send(endpoint_id, held)
         if self.duplication > 0.0 and self._rng.random() < self.duplication:
-            counters.frames_duplicated += 1
+            counters.c_duplicated.inc()
+            if tracer.enabled:
+                tracer.frame_span(frame, "fabric.impair", "duplicated")
             self.inner.send(endpoint_id, frame)
         return result
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
+
 
 class RegionAccessError(Exception):
     """A remote access fell outside the region or used a bad rkey."""
@@ -41,8 +43,32 @@ class MemoryRegion:
         self.base_address = base_address
         self.rkey = rkey
         self._buffer = bytearray(size)
-        self.write_count = 0
-        self.atomic_count = 0
+        registry = obs.get_registry()
+        labels = registry.instance_labels("MemoryRegion")
+        #: Writes applied (remote DMA plus local offset writes).
+        self.c_writes = registry.counter("mem_writes", labels=labels)
+        #: Bytes written into the region.
+        self.c_bytes_written = registry.counter(
+            "mem_bytes_written", labels=labels
+        )
+        #: Atomics applied (FETCH_ADD and CMP_SWAP).
+        self.c_atomics = registry.counter("mem_atomics", labels=labels)
+        #: Writes that landed on a live (non-zero) slot -- the observable
+        #: collision pressure behind the paper's query-success model.
+        self.c_slot_overwrites = registry.counter(
+            "mem_slot_overwrites", labels=labels
+        )
+        self._track_overwrites = self.c_slot_overwrites.enabled
+
+    @property
+    def write_count(self) -> int:
+        """Writes applied to the region (remote DMA plus local writes)."""
+        return self.c_writes.value
+
+    @property
+    def atomic_count(self) -> int:
+        """Atomic operations applied to the region."""
+        return self.c_atomics.value
 
     def __len__(self) -> int:
         return self.size
@@ -84,8 +110,12 @@ class MemoryRegion:
     def dma_write(self, address: int, payload: bytes, rkey: Optional[int] = None) -> None:
         """Write ``payload`` at virtual ``address`` (RDMA WRITE semantics)."""
         offset = self._offset(address, len(payload), rkey)
-        self._buffer[offset : offset + len(payload)] = payload
-        self.write_count += 1
+        end = offset + len(payload)
+        if self._track_overwrites and any(self._buffer[offset:end]):
+            self.c_slot_overwrites.inc()
+        self._buffer[offset:end] = payload
+        self.c_writes.inc()
+        self.c_bytes_written.inc(len(payload))
 
     def dma_read(self, address: int, length: int, rkey: Optional[int] = None) -> bytes:
         """Read ``length`` bytes at virtual ``address`` (RDMA READ semantics)."""
@@ -106,7 +136,7 @@ class MemoryRegion:
         original = int.from_bytes(self._buffer[offset : offset + 8], "big")
         updated = (original + addend) & 0xFFFFFFFFFFFFFFFF
         self._buffer[offset : offset + 8] = updated.to_bytes(8, "big")
-        self.atomic_count += 1
+        self.c_atomics.inc()
         return original
 
     def dma_compare_swap(
@@ -128,7 +158,7 @@ class MemoryRegion:
             self._buffer[offset : offset + 8] = (
                 swap & 0xFFFFFFFFFFFFFFFF
             ).to_bytes(8, "big")
-        self.atomic_count += 1
+        self.c_atomics.inc()
         return original
 
     # ------------------------------------------------------------------
@@ -150,7 +180,12 @@ class MemoryRegion:
                 f"local write [{offset}, +{len(payload)}) outside region "
                 f"of size {self.size}"
             )
-        self._buffer[offset : offset + len(payload)] = payload
+        end = offset + len(payload)
+        if self._track_overwrites and any(self._buffer[offset:end]):
+            self.c_slot_overwrites.inc()
+        self._buffer[offset:end] = payload
+        self.c_writes.inc()
+        self.c_bytes_written.inc(len(payload))
 
     def write_offset_many(self, items) -> int:
         """Batched local writes: ``(offset, payload)`` pairs in one call.
@@ -163,7 +198,10 @@ class MemoryRegion:
         """
         buffer = self._buffer
         size = self.size
+        track = self._track_overwrites
         count = 0
+        overwrites = 0
+        written = 0
         for offset, payload in items:
             end = offset + len(payload)
             if offset < 0 or end > size:
@@ -171,8 +209,15 @@ class MemoryRegion:
                     f"local write [{offset}, +{len(payload)}) outside region "
                     f"of size {size}"
                 )
+            if track and any(buffer[offset:end]):
+                overwrites += 1
             buffer[offset:end] = payload
+            written += len(payload)
             count += 1
+        self.c_writes.inc(count)
+        self.c_bytes_written.inc(written)
+        if overwrites:
+            self.c_slot_overwrites.inc(overwrites)
         return count
 
     def snapshot(self) -> bytes:

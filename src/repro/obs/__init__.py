@@ -1,0 +1,112 @@
+"""``repro.obs``: the process-wide observability subsystem.
+
+One registry of named counters/gauges/histograms (:mod:`repro.obs.metrics`),
+one per-report tracer (:mod:`repro.obs.tracing`), and derived
+pipeline-health gauges (:mod:`repro.obs.health`).  Every datapath layer --
+fabric, NIC, memory region, switch, stores, query clients -- instruments
+itself through the accessors below, capturing its metrics at construction:
+
+>>> from repro import obs
+>>> registry = obs.get_registry()          # the process default (enabled)
+>>> obs.set_tracer(obs.Tracer())           # opt into per-report tracing
+
+Metrics are on by default (plain integer adds; the structural counters the
+tests reconcile live here).  Tracing defaults to the no-op
+:data:`~repro.obs.tracing.NULL_TRACER`.  For a fully zero-cost hot path,
+install a disabled registry -- components built afterwards receive shared
+no-op metrics (``MetricsRegistry(enabled=False)``); the ``bench-obs``
+target proves the overhead budget either way.
+"""
+
+from __future__ import annotations
+
+from repro.obs.health import (
+    PipelineHealth,
+    QueryHealth,
+    render_dashboard,
+    render_histogram,
+)
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, TraceRecord, Tracer
+
+#: The process-wide default registry (metrics enabled).
+_registry: MetricsRegistry = MetricsRegistry(enabled=True)
+#: The process-wide default tracer (tracing off).
+_tracer = NULL_TRACER
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry components instrument themselves against by default."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process default; returns the previous one.
+
+    Components capture metrics at construction, so swap the registry
+    *before* building the pipeline under measurement (the CLI and the
+    benchmarks do exactly that, restoring the old registry afterwards).
+    """
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def get_tracer():
+    """The tracer components record spans against by default."""
+    return _tracer
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` as the process default; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_TRACER",
+    "NullTracer",
+    "PipelineHealth",
+    "QueryHealth",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "DEPTH_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "get_tracer",
+    "set_tracer",
+    "render_dashboard",
+    "render_histogram",
+]

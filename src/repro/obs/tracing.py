@@ -1,0 +1,212 @@
+"""Per-report tracing: follow one telemetry report across the pipeline.
+
+A trace is born where a report is born -- :class:`~repro.core.reporter.DartReporter`
+or :class:`~repro.switch.dart_switch.DartSwitch` calls :meth:`Tracer.begin`
+-- and accumulates *spans* as the report's frames cross the layers: switch
+craft, fabric offer/impairment/delivery, NIC ingest, memory-region write,
+store/query resolution.  Because the fabric moves opaque wire bytes, frames
+are associated with traces by content (:meth:`Tracer.bind_frame`): layers
+that only see ``bytes`` call :meth:`Tracer.frame_span` and the tracer looks
+the trace up.  Duplicated frames (same bytes) intentionally land on the
+same trace -- a duplicate *is* the same report copy on the wire.
+
+Ordering uses a process-wide logical clock (monotonic span sequence
+numbers), so span order is deterministic and survives impairment
+reordering tests without wall-clock flakiness.
+
+Tracing is opt-in: the process default is :data:`NULL_TRACER`, whose
+methods are no-ops, so the report hot path pays one guarded no-op call per
+layer when tracing is off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """One event on a trace: a logical timestamp, a stage name, detail."""
+
+    seq: int
+    stage: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.seq:06d}] {self.stage}" + (
+            f" ({self.detail})" if self.detail else ""
+        )
+
+
+@dataclass
+class TraceRecord:
+    """Everything recorded for one trace: identity plus ordered spans."""
+
+    trace_id: int
+    kind: str
+    key: str = ""
+    spans: List[Span] = field(default_factory=list)
+    #: Frames bound to this trace (kept so eviction can unbind them).
+    frames: List[bytes] = field(default_factory=list)
+
+    @property
+    def stages(self) -> Tuple[str, ...]:
+        """The stage names in span order (test/dashboard convenience)."""
+        return tuple(span.stage for span in self.spans)
+
+    def render(self) -> str:
+        """Multi-line human rendering of the trace."""
+        head = f"trace {self.trace_id} kind={self.kind}"
+        if self.key:
+            head += f" key={self.key}"
+        return "\n".join([head] + [f"  {span}" for span in self.spans])
+
+
+class Tracer:
+    """Assigns trace ids and records spans keyed by id or frame bytes.
+
+    Parameters
+    ----------
+    max_traces:
+        Ring capacity: beginning a trace beyond this evicts the oldest
+        trace (and unbinds its frames), bounding memory for long runs.
+    """
+
+    enabled = True
+
+    def __init__(self, max_traces: int = 4096) -> None:
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[int, TraceRecord]" = OrderedDict()
+        self._frames: Dict[bytes, int] = {}
+        self._next_id = 1
+        self._clock = 0
+        self.traces_begun = 0
+        self.traces_evicted = 0
+        self.spans_recorded = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(live={len(self._traces)}, begun={self.traces_begun}, "
+            f"spans={self.spans_recorded})"
+        )
+
+    # ------------------------------------------------------------------
+    # Trace lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, kind: str, key: str = "") -> int:
+        """Start a trace (at report/query creation); returns its id."""
+        trace_id = self._next_id
+        self._next_id += 1
+        self.traces_begun += 1
+        self._traces[trace_id] = TraceRecord(trace_id=trace_id, kind=kind, key=key)
+        if len(self._traces) > self.max_traces:
+            _evicted_id, evicted = self._traces.popitem(last=False)
+            self.traces_evicted += 1
+            for frame in evicted.frames:
+                if self._frames.get(frame) == evicted.trace_id:
+                    del self._frames[frame]
+        return trace_id
+
+    def bind_frame(self, frame: bytes, trace_id: int) -> None:
+        """Associate wire bytes with a trace so frame-only layers can span.
+
+        Later binds of identical bytes win (frames are retransmitted with
+        fresh PSNs in practice, so true collisions are rare).
+        """
+        record = self._traces.get(trace_id)
+        if record is None:
+            return
+        record.frames.append(frame)
+        self._frames[frame] = trace_id
+
+    # ------------------------------------------------------------------
+    # Span recording
+    # ------------------------------------------------------------------
+
+    def span(self, trace_id: int, stage: str, detail: str = "") -> None:
+        """Record one span on a trace (ignored for unknown/evicted ids)."""
+        record = self._traces.get(trace_id)
+        if record is None:
+            return
+        self._clock += 1
+        self.spans_recorded += 1
+        record.spans.append(Span(seq=self._clock, stage=stage, detail=detail))
+
+    def frame_span(self, frame: bytes, stage: str, detail: str = "") -> None:
+        """Record a span against whatever trace ``frame`` is bound to.
+
+        Frames from untraced sources (hand-crafted test frames, retries
+        after eviction) are silently ignored.
+        """
+        trace_id = self._frames.get(frame)
+        if trace_id is not None:
+            self.span(trace_id, stage, detail)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def trace(self, trace_id: int) -> Optional[TraceRecord]:
+        """The record for one trace id (None if unknown or evicted)."""
+        return self._traces.get(trace_id)
+
+    def trace_for_frame(self, frame: bytes) -> Optional[TraceRecord]:
+        """The record a frame is bound to, if any."""
+        trace_id = self._frames.get(frame)
+        return None if trace_id is None else self._traces.get(trace_id)
+
+    def traces(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        """Live traces in begin order, optionally filtered by kind."""
+        records = list(self._traces.values())
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        return records
+
+    def reset(self) -> None:
+        """Drop every trace and frame binding (ids keep increasing)."""
+        self._traces.clear()
+        self._frames.clear()
+
+
+class NullTracer:
+    """The no-op tracer installed by default: every method does nothing."""
+
+    enabled = False
+    max_traces = 0
+
+    def begin(self, kind: str, key: str = "") -> int:
+        """No-op; returns trace id 0 (never recorded)."""
+        return 0
+
+    def bind_frame(self, frame: bytes, trace_id: int) -> None:
+        """No-op."""
+
+    def span(self, trace_id: int, stage: str, detail: str = "") -> None:
+        """No-op."""
+
+    def frame_span(self, frame: bytes, stage: str, detail: str = "") -> None:
+        """No-op."""
+
+    def trace(self, trace_id: int) -> None:
+        """Always None."""
+        return None
+
+    def trace_for_frame(self, frame: bytes) -> None:
+        """Always None."""
+        return None
+
+    def traces(self, kind: Optional[str] = None) -> list:
+        """Always empty."""
+        return []
+
+    def reset(self) -> None:
+        """No-op."""
+
+
+#: Shared no-op tracer singleton (the process default).
+NULL_TRACER = NullTracer()

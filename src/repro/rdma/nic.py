@@ -14,10 +14,12 @@ objects around.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional
 
+from repro import obs
 from repro.mem.region import MemoryRegion, RegionAccessError
+from repro.obs.metrics import DEPTH_BUCKETS, LATENCY_BUCKETS
 from repro.rdma.packets import (
     Aeth,
     Bth,
@@ -33,20 +35,129 @@ from repro.rdma.packets import (
 from repro.rdma.qp import QueuePair
 
 
-@dataclass
 class NicCounters:
-    """Hardware-style drop/accept counters exposed for diagnostics."""
+    """Hardware-style drop/accept counters exposed for diagnostics.
 
-    frames_received: int = 0
-    writes_executed: int = 0
-    atomics_executed: int = 0
-    reads_executed: int = 0
-    responses_emitted: int = 0
-    dropped_decode: int = 0
-    dropped_unknown_qp: int = 0
-    dropped_psn: int = 0
-    dropped_access: int = 0
-    dropped_opcode: int = 0
+    A thin view over per-NIC counters in the process metrics registry:
+    the attribute names of the pre-registry dataclass stay readable (the
+    impairment reconciliation tests depend on them), while exposition and
+    fleet-wide totals come from the registry series
+    (``nic_frames_received``, ``nic_dropped_<reason>``, ...).
+    """
+
+    #: (attribute, registry metric name) for every accounting series.
+    FIELDS = (
+        ("frames_received", "nic_frames_received"),
+        ("writes_executed", "nic_writes_executed"),
+        ("atomics_executed", "nic_atomics_executed"),
+        ("reads_executed", "nic_reads_executed"),
+        ("responses_emitted", "nic_responses_emitted"),
+        ("dropped_decode", "nic_dropped_decode"),
+        ("dropped_unknown_qp", "nic_dropped_unknown_qp"),
+        ("dropped_psn", "nic_dropped_psn"),
+        ("dropped_access", "nic_dropped_access"),
+        ("dropped_opcode", "nic_dropped_opcode"),
+    )
+
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            registry = obs.get_registry()
+        labels = registry.instance_labels("RdmaNic")
+        #: Frames handed to the NIC by the network/fabric.
+        self.c_received = registry.counter("nic_frames_received", labels=labels)
+        #: RDMA WRITEs applied to the region.
+        self.c_writes = registry.counter("nic_writes_executed", labels=labels)
+        #: FETCH_ADD / CMP_SWAP atomics applied to the region.
+        self.c_atomics = registry.counter("nic_atomics_executed", labels=labels)
+        #: READ requests served from the region.
+        self.c_reads = registry.counter("nic_reads_executed", labels=labels)
+        #: READ responses crafted onto the TX queue.
+        self.c_responses = registry.counter(
+            "nic_responses_emitted", labels=labels
+        )
+        #: Frames dropped: undecodable / failed iCRC.
+        self.c_dropped_decode = registry.counter(
+            "nic_dropped_decode", labels=labels
+        )
+        #: Frames dropped: no such queue pair.
+        self.c_dropped_unknown_qp = registry.counter(
+            "nic_dropped_unknown_qp", labels=labels
+        )
+        #: Frames dropped: PSN outside the acceptance window.
+        self.c_dropped_psn = registry.counter("nic_dropped_psn", labels=labels)
+        #: Frames dropped: rkey/bounds violation (RegionAccessError).
+        self.c_dropped_access = registry.counter(
+            "nic_dropped_access", labels=labels
+        )
+        #: Frames dropped: opcode the responder does not implement.
+        self.c_dropped_opcode = registry.counter(
+            "nic_dropped_opcode", labels=labels
+        )
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name, _metric in self.FIELDS
+        )
+        return f"NicCounters({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality over all counters (the dataclass-era contract)."""
+        if not isinstance(other, NicCounters):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name, _metric in self.FIELDS
+        )
+
+    @property
+    def frames_received(self) -> int:
+        """Frames handed to the NIC by the network/fabric."""
+        return self.c_received.value
+
+    @property
+    def writes_executed(self) -> int:
+        """RDMA WRITEs applied to the region."""
+        return self.c_writes.value
+
+    @property
+    def atomics_executed(self) -> int:
+        """FETCH_ADD / CMP_SWAP atomics applied to the region."""
+        return self.c_atomics.value
+
+    @property
+    def reads_executed(self) -> int:
+        """READ requests served from the region."""
+        return self.c_reads.value
+
+    @property
+    def responses_emitted(self) -> int:
+        """READ responses crafted onto the TX queue."""
+        return self.c_responses.value
+
+    @property
+    def dropped_decode(self) -> int:
+        """Frames dropped: undecodable / failed iCRC."""
+        return self.c_dropped_decode.value
+
+    @property
+    def dropped_unknown_qp(self) -> int:
+        """Frames dropped: no such queue pair."""
+        return self.c_dropped_unknown_qp.value
+
+    @property
+    def dropped_psn(self) -> int:
+        """Frames dropped: PSN outside the acceptance window."""
+        return self.c_dropped_psn.value
+
+    @property
+    def dropped_access(self) -> int:
+        """Frames dropped: rkey/bounds violation."""
+        return self.c_dropped_access.value
+
+    @property
+    def dropped_opcode(self) -> int:
+        """Frames dropped: opcode the responder does not implement."""
+        return self.c_dropped_opcode.value
 
     @property
     def frames_dropped(self) -> int:
@@ -86,7 +197,20 @@ class RdmaNic:
         self.mac = mac
         self.ip = ip
         self.validate_icrc = validate_icrc
-        self.counters = NicCounters()
+        registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        self.counters = NicCounters(registry)
+        self._h_ingest_batch = registry.histogram(
+            "nic_ingest_batch_frames",
+            DEPTH_BUCKETS,
+            help="frames per batched ingest call",
+        )
+        self._h_ingest_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": "nic_ingest"},
+            help="wall-clock seconds per batched NIC ingest",
+        )
         self._queue_pairs: Dict[int, QueuePair] = {}
         #: Outbound frames (READ responses, ACKs) awaiting transmission;
         #: the network model drains this with :meth:`transmit`.
@@ -119,13 +243,20 @@ class RdmaNic:
 
         This is the *entire* collection fast path: parse, validate, DMA.
         """
-        self.counters.frames_received += 1
+        self.counters.c_received.inc()
         try:
             packet = RoceV2Packet.unpack(frame, validate_icrc=self.validate_icrc)
         except PacketDecodeError:
-            self.counters.dropped_decode += 1
+            self.counters.c_dropped_decode.inc()
+            if self._tracer.enabled:
+                self._tracer.frame_span(frame, "nic.ingest", "dropped:decode")
             return False
-        return self.receive_packet(packet)
+        executed = self.receive_packet(packet)
+        if self._tracer.enabled:
+            self._tracer.frame_span(
+                frame, "nic.ingest", "executed" if executed else "dropped"
+            )
+        return executed
 
     def ingest_many(self, frames: Iterable[bytes]) -> int:
         """Ingest a batch of wire frames; returns how many were executed.
@@ -136,20 +267,28 @@ class RdmaNic:
         :meth:`receive_frame` in order.
         """
         receive_frame = self.receive_frame
+        timed = self._h_ingest_seconds.enabled
+        if timed:
+            started = perf_counter()
         executed = 0
+        count = 0
         for frame in frames:
+            count += 1
             if receive_frame(frame):
                 executed += 1
+        if timed:
+            self._h_ingest_seconds.observe(perf_counter() - started)
+            self._h_ingest_batch.observe(count)
         return executed
 
     def receive_packet(self, packet: RoceV2Packet) -> bool:
         """Ingest an already-parsed packet (fast path for simulations)."""
         qp = self._queue_pairs.get(packet.bth.dest_qp)
         if qp is None:
-            self.counters.dropped_unknown_qp += 1
+            self.counters.c_dropped_unknown_qp.inc()
             return False
         if not qp.accept(packet.bth.psn):
-            self.counters.dropped_psn += 1
+            self.counters.c_dropped_psn.inc()
             return False
 
         opcode = packet.bth.opcode
@@ -160,28 +299,28 @@ class RdmaNic:
             ):
                 reth = packet.reth
                 if reth is None or reth.dma_length != len(packet.payload):
-                    self.counters.dropped_decode += 1
+                    self.counters.c_dropped_decode.inc()
                     return False
                 self.region.dma_write(
                     reth.virtual_address, packet.payload, rkey=reth.rkey
                 )
-                self.counters.writes_executed += 1
+                self.counters.c_writes.inc()
                 return True
             if opcode == Opcode.RC_RDMA_READ_REQUEST:
                 reth = packet.reth
                 if reth is None:
-                    self.counters.dropped_decode += 1
+                    self.counters.c_dropped_decode.inc()
                     return False
                 data = self.region.dma_read(
                     reth.virtual_address, reth.dma_length, rkey=reth.rkey
                 )
-                self.counters.reads_executed += 1
+                self.counters.c_reads.inc()
                 self._enqueue_read_response(packet, qp, data)
                 return True
             if opcode_has_atomic_eth(opcode):
                 atomic = packet.atomic_eth
                 if atomic is None:
-                    self.counters.dropped_decode += 1
+                    self.counters.c_dropped_decode.inc()
                     return False
                 if opcode == Opcode.RC_FETCH_ADD:
                     self.region.dma_fetch_add(
@@ -194,13 +333,13 @@ class RdmaNic:
                         atomic.swap_add,
                         rkey=atomic.rkey,
                     )
-                self.counters.atomics_executed += 1
+                self.counters.c_atomics.inc()
                 return True
         except RegionAccessError:
-            self.counters.dropped_access += 1
+            self.counters.c_dropped_access.inc()
             return False
 
-        self.counters.dropped_opcode += 1
+        self.counters.c_dropped_opcode.inc()
         return False
 
     # ------------------------------------------------------------------
@@ -231,7 +370,7 @@ class RdmaNic:
             payload=data,
         )
         self.tx_queue.append(response.pack())
-        self.counters.responses_emitted += 1
+        self.counters.c_responses.inc()
 
     def transmit(self) -> List[bytes]:
         """Drain and return all queued outbound frames."""

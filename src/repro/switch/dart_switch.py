@@ -17,9 +17,9 @@ it; the NIC model on the other end validates it byte-for-byte.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.core.addressing import DartAddressing
 from repro.core.config import DartConfig
 from repro.fabric.fabric import Fabric
@@ -41,13 +41,50 @@ from repro.switch.pipeline import MatchActionTable, MatchKind, TableEntry
 _UDP_SRC_BASE = 0xC000
 
 
-@dataclass
 class SwitchCounters:
-    """Per-switch diagnostic counters."""
+    """Per-switch diagnostic counters.
 
-    events_seen: int = 0
-    reports_emitted: int = 0
-    drops_no_collector_entry: int = 0
+    A thin view over per-switch counters in the metrics registry
+    (``switch_events_seen``, ``switch_reports_emitted``,
+    ``switch_drops_no_collector_entry``); attribute reads stay live.
+    """
+
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            registry = obs.get_registry()
+        labels = registry.instance_labels("DartSwitch")
+        #: Telemetry events offered to the report path.
+        self.c_events = registry.counter("switch_events_seen", labels=labels)
+        #: Report frames crafted (all copies).
+        self.c_reports = registry.counter(
+            "switch_reports_emitted", labels=labels
+        )
+        #: Reports dropped for lack of a collector lookup entry.
+        self.c_drops_no_entry = registry.counter(
+            "switch_drops_no_collector_entry", labels=labels
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchCounters(events_seen={self.events_seen}, "
+            f"reports_emitted={self.reports_emitted}, "
+            f"drops_no_collector_entry={self.drops_no_collector_entry})"
+        )
+
+    @property
+    def events_seen(self) -> int:
+        """Telemetry events offered to the report path."""
+        return self.c_events.value
+
+    @property
+    def reports_emitted(self) -> int:
+        """Report frames crafted (all copies)."""
+        return self.c_reports.value
+
+    @property
+    def drops_no_collector_entry(self) -> int:
+        """Reports dropped for lack of a collector lookup entry."""
+        return self.c_drops_no_entry.value
 
 
 class DartSwitch:
@@ -79,7 +116,8 @@ class DartSwitch:
         self.fabric = fabric
         self.addressing = DartAddressing(config)
         self._codec = config.slot_codec()
-        self.counters = SwitchCounters()
+        self._tracer = obs.get_tracer()
+        self.counters = SwitchCounters(obs.get_registry())
 
         # The "global collector lookup table" (paper section 6): exact
         # match on collector ID, action data = RoCEv2 endpoint parameters.
@@ -163,7 +201,7 @@ class DartSwitch:
         collector_id = self.addressing.collector_of(key)
         lookup = self.collector_table.lookup(collector_id)
         if lookup is None:
-            self.counters.drops_no_collector_entry += 1
+            self.counters.c_drops_no_entry.inc()
             raise LookupError(
                 f"no collector lookup entry for collector {collector_id}"
             )
@@ -204,14 +242,24 @@ class DartSwitch:
         all N slots requires N packets (paper section 3.1); this models the
         switch generating all of them for one telemetry event.
         """
-        self.counters.events_seen += 1
+        self.counters.c_events.inc()
         # The mirror clone carries key + raw data into egress.
         self.mirror.clone(stable_key_bytes(key) + value)
         frames = [
             self._craft_frame(key, value, copy_index)
             for copy_index in range(self.config.redundancy)
         ]
-        self.counters.reports_emitted += len(frames)
+        self.counters.c_reports.inc(len(frames))
+        tracer = self._tracer
+        if tracer.enabled:
+            trace_id = tracer.begin("switch_report", key=repr(key))
+            tracer.span(
+                trace_id,
+                "switch.report",
+                f"switch={self.switch_id} copies={len(frames)}",
+            )
+            for _collector_id, frame in frames:
+                tracer.bind_frame(frame, trace_id)
         return frames
 
     def report_single(self, key: Key, value: bytes) -> Tuple[int, bytes]:
@@ -221,11 +269,20 @@ class DartSwitch:
         Tofino RNG picks n per mirrored report packet, and repeated events
         for the same key gradually fill the N slots.
         """
-        self.counters.events_seen += 1
+        self.counters.c_events.inc()
         self.mirror.clone(stable_key_bytes(key) + value)
         copy_index = self.rng.next(self.config.redundancy)
         frame = self._craft_frame(key, value, copy_index)
-        self.counters.reports_emitted += 1
+        self.counters.c_reports.inc()
+        tracer = self._tracer
+        if tracer.enabled:
+            trace_id = tracer.begin("switch_report", key=repr(key))
+            tracer.span(
+                trace_id,
+                "switch.report",
+                f"switch={self.switch_id} copy={copy_index}",
+            )
+            tracer.bind_frame(frame[1], trace_id)
         return frame
 
     # ------------------------------------------------------------------

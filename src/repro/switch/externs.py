@@ -10,9 +10,9 @@ mirroring to inject truncated report clones into the egress pipeline.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.hashing.crc import CRC32, CrcAlgorithm
 
 
@@ -106,22 +106,44 @@ class CrcEngine:
         return self.algorithm.compute(masked_packet)
 
 
-@dataclass
 class MirrorSession:
     """An I2E mirror session: truncated packet clones into egress.
 
     When telemetry must be reported, the DART program triggers an
     ingress-to-egress mirror; the clone carries the raw telemetry data and
     key and is rewritten into a DART report in egress (paper section 6).
+    Clone counts are registry-backed (``switch_mirror_clones``), with the
+    pre-registry ``clones_emitted`` attribute kept as a live view.
     """
 
-    session_id: int
-    truncate_to: Optional[int] = None
-    clones_emitted: int = 0
+    def __init__(
+        self, session_id: int, truncate_to: Optional[int] = None
+    ) -> None:
+        self.session_id = session_id
+        self.truncate_to = truncate_to
+        registry = obs.get_registry()
+        #: Clones produced by this session.
+        self.c_clones = registry.counter(
+            "switch_mirror_clones",
+            labels=registry.instance_labels("MirrorSession")
+            + (("session", str(session_id)),),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MirrorSession(session_id={self.session_id}, "
+            f"truncate_to={self.truncate_to}, "
+            f"clones_emitted={self.clones_emitted})"
+        )
+
+    @property
+    def clones_emitted(self) -> int:
+        """Clones produced by this session (registry-backed)."""
+        return self.c_clones.value
 
     def clone(self, packet: bytes) -> bytes:
         """Produce the (possibly truncated) clone of ``packet``."""
-        self.clones_emitted += 1
+        self.c_clones.inc()
         if self.truncate_to is not None and len(packet) > self.truncate_to:
             return packet[: self.truncate_to]
         return packet

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+
 
 class MatchKind(Enum):
     """P4 match kinds supported by the table model."""
@@ -73,8 +75,14 @@ class MatchActionTable:
         self._entries: List[TableEntry] = []
         self._exact_index: Dict[Tuple[Any, ...], TableEntry] = {}
         self.default_action: Optional[Tuple[str, Dict[str, Any]]] = None
-        self.hits = 0
-        self.misses = 0
+        registry = obs.get_registry()
+        labels = registry.instance_labels("MatchActionTable") + (
+            ("table", name),
+        )
+        #: Lookups that matched an installed entry.
+        self.c_hits = registry.counter("switch_table_hits", labels=labels)
+        #: Lookups that fell through to the default action.
+        self.c_misses = registry.counter("switch_table_misses", labels=labels)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,6 +92,16 @@ class MatchActionTable:
             f"MatchActionTable(name={self.name!r}, entries={len(self)}/"
             f"{self.max_entries})"
         )
+
+    @property
+    def hits(self) -> int:
+        """Lookups that matched an installed entry (registry-backed)."""
+        return self.c_hits.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to the default action (registry-backed)."""
+        return self.c_misses.value
 
     @property
     def is_pure_exact(self) -> bool:
@@ -153,9 +171,9 @@ class MatchActionTable:
         if self.is_pure_exact:
             entry = self._exact_index.get(tuple(values))
             if entry is not None:
-                self.hits += 1
+                self.c_hits.inc()
                 return entry.action, entry.params
-            self.misses += 1
+            self.c_misses.inc()
             return self.default_action
 
         best: Optional[TableEntry] = None
@@ -177,9 +195,9 @@ class MatchActionTable:
                 if rank > best_rank:
                     best, best_rank = entry, rank
         if best is not None:
-            self.hits += 1
+            self.c_hits.inc()
             return best.action, best.params
-        self.misses += 1
+        self.c_misses.inc()
         return self.default_action
 
     @property

@@ -82,6 +82,56 @@ class TestTrace:
         assert "fat_tree_k" in out
 
 
+class TestObs:
+    SMALL = ["obs", "--keys", "200", "--slots", "1024", "--seed", "1"]
+
+    def test_dashboard(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "== pipeline health ==" in out
+        assert "frame loss rate" in out
+        assert "== per-stage latency (seconds) ==" in out
+        assert "== query success rate ==" in out
+        assert "policy=PLURALITY" in out
+        assert "policy=FIRST_MATCH" in out
+        assert "slot overwrite rate" in out
+        assert "queue depth high-water mark" in out
+
+    def test_prometheus_format(self, capsys):
+        assert main(self.SMALL + ["--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_fabric_frames_offered counter" in out
+        assert "repro_nic_frames_received_total" in out
+        assert 'repro_stage_seconds_bucket{stage="fabric_flush",le="+Inf"}' in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in rows}
+        assert "fabric_frames_offered" in names
+        assert "mem_slot_overwrites" in names
+        assert "queries_total" in names
+
+    def test_trace_output(self, capsys):
+        assert main(self.SMALL + ["--trace", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "== first 2 report traces ==" in out
+        assert "kind=switch_report" in out
+        assert "switch.report" in out
+        assert "fabric.deliver" in out
+
+    def test_restores_process_defaults(self):
+        from repro import obs
+
+        registry_before = obs.get_registry()
+        tracer_before = obs.get_tracer()
+        assert main(self.SMALL) == 0
+        assert obs.get_registry() is registry_before
+        assert obs.get_tracer() is tracer_before
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -89,8 +139,13 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("simulate", "plan", "theory", "trace", "experiments"):
-            args = parser.parse_args(
-                [command] if command != "experiments" else [command]
-            )
+        for command in (
+            "simulate",
+            "plan",
+            "theory",
+            "trace",
+            "experiments",
+            "obs",
+        ):
+            args = parser.parse_args([command])
             assert callable(args.func)

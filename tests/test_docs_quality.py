@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.hashing",
     "repro.mem",
     "repro.network",
+    "repro.obs",
     "repro.rdma",
     "repro.switch",
     "repro.switch.p4",

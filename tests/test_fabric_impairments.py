@@ -121,7 +121,14 @@ def test_duplicates_are_idempotent(duplication, seed, reports):
         clean_store.put(key, value)
         dup_store.put(key, value)
 
-    assert impaired.counters.frames_duplicated > 0 or duplication * reports < 1
+    # Exact accounting: each duplication draw injects one extra inner
+    # delivery (a probabilistic "at least one duplicate fired" assertion
+    # is flaky at small counts -- all draws can legitimately miss).
+    assert (
+        impaired.delivered.frames_delivered
+        == impaired.counters.frames_offered
+        + impaired.counters.frames_duplicated
+    )
     for clean, dup in zip(clean_store.cluster, dup_store.cluster):
         assert clean.region.snapshot() == dup.region.snapshot()
         # Every duplicate was dropped by the PSN stale-window check.

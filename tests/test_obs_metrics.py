@@ -1,0 +1,219 @@
+"""Tests for repro.obs.metrics: registry, histograms, snapshots, exposition."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_identity_per_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events", labels={"kind": "a"})
+        b = registry.counter("events", labels={"kind": "a"})
+        c = registry.counter("events", labels={"kind": "b"})
+        assert a is b
+        assert a is not c
+
+    def test_label_normalisation_is_order_independent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", labels=[("b", "2"), ("a", "1")])
+        b = registry.counter("x", labels={"a": "1", "b": "2"})
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_gauge_set_and_set_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.set_max(3)
+        assert gauge.value == 5
+        gauge.set_max(9)
+        assert gauge.value == 9
+
+    def test_total_aggregates_with_filters(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", labels={"kind": "a"}).inc(2)
+        registry.counter("hits", labels={"kind": "b"}).inc(3)
+        assert registry.total("hits") == 5
+        assert registry.total("hits", kind="a") == 2
+
+    def test_instance_labels_are_unique(self):
+        registry = MetricsRegistry()
+        first = registry.instance_labels("Widget")
+        second = registry.instance_labels("Widget")
+        assert first != second
+        assert dict(first)["kind"] == "Widget"
+
+
+class TestHistogramBuckets:
+    def test_value_on_boundary_lands_in_le_bucket(self):
+        # Prometheus `le` semantics: v <= bound is inclusive.
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        h.observe(5.0)
+        assert h.counts == (1, 1, 1, 0)
+
+    def test_value_above_last_bound_overflows(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(2.0001)
+        h.observe(1e9)
+        assert h.counts == (0, 0, 2)
+
+    def test_value_below_first_bound(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.0)
+        h.observe(-3.0)
+        assert h.counts == (2, 0, 0)
+
+    def test_cumulative_counts(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 1.7, 3.0, 100.0):
+            h.observe(value)
+        assert h.cumulative() == (1, 3, 4, 5)
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.7)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_quantile_returns_bucket_bound(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(4.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 5.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_mean_and_reset(self):
+        h = Histogram("h", buckets=LATENCY_BUCKETS)
+        h.observe(0.25)
+        h.observe(0.75)
+        assert h.mean == pytest.approx(0.5)
+        h.reset()
+        assert h.count == 0 and h.sum == 0.0
+        assert set(h.counts) == {0}
+
+
+class TestSnapshotDiff:
+    def test_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        snap = registry.snapshot()
+        assert snap.get("c") == 3
+        assert snap.get("g") == 7
+        counts, total, bounds = snap.samples[("h", ())][1]
+        assert counts == (0, 1, 0) and bounds == (1.0, 2.0)
+        # Snapshots are copies: further increments don't leak in.
+        registry.counter("c").inc()
+        assert snap.get("c") == 3
+
+    def test_diff_window_semantics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        h = registry.histogram("h", buckets=(1.0,))
+        counter.inc(2)
+        gauge.set(10)
+        h.observe(0.5)
+        before = registry.snapshot()
+        counter.inc(5)
+        gauge.set(4)
+        h.observe(0.5)
+        h.observe(99.0)
+        window = registry.snapshot().diff(before)
+        assert window.get("c") == 5  # counters subtract
+        assert window.get("g") == 4  # gauges keep the newer reading
+        counts, _total, _bounds = window.samples[("h", ())][1]
+        assert counts == (1, 1)  # histogram buckets subtract
+
+    def test_diff_passes_through_new_series(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.counter("fresh").inc(9)
+        window = registry.snapshot().diff(before)
+        assert window.get("fresh") == 9
+
+    def test_reset_zeroes_but_keeps_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(4)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("c") is counter
+
+
+class TestExposition:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", labels={"kind": "nic"}).inc(2)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.to_prometheus()
+        assert '# TYPE repro_frames counter' in text
+        assert 'repro_frames_total{kind="nic"} 2' in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_count 1" in text
+
+    def test_json_exposition_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        rows = json.loads(registry.to_json())
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["c"]["value"] == 1
+        assert by_name["h"]["count"] == 1
+        assert by_name["h"]["buckets"][-1]["le"] == "+Inf"
+
+
+class TestDisabledRegistry:
+    def test_disabled_registry_hands_out_null_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("c") is NULL_COUNTER
+        assert registry.gauge("g") is NULL_GAUGE
+        assert registry.histogram("h", buckets=(1.0,)) is NULL_HISTOGRAM
+
+    def test_null_metrics_record_nothing(self):
+        NULL_COUNTER.inc(100)
+        NULL_GAUGE.set(5)
+        NULL_GAUGE.set_max(9)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_HISTOGRAM.quantile(0.5) == 0.0
+        assert not NULL_COUNTER.enabled
+
+    def test_disabled_registry_exposes_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        assert registry.snapshot().samples == {}
+        assert registry.to_prometheus() == ""

@@ -1,0 +1,187 @@
+"""Tests for repro.obs.tracing: span ordering, frame binding, eviction."""
+
+from repro import obs
+from repro.fabric.fabric import InlineFabric
+from repro.fabric.impaired import ImpairedFabric
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+
+class _Port:
+    """Minimal fabric endpoint that accepts every frame."""
+
+    def __init__(self):
+        self.frames = []
+
+    def receive_frame(self, frame):
+        self.frames.append(frame)
+        return True
+
+    def transmit(self):
+        return []
+
+
+def _fresh_obs():
+    """Install a fresh registry+tracer; returns (registry, tracer, restore)."""
+    registry = obs.MetricsRegistry()
+    tracer = obs.Tracer()
+    previous_registry = obs.set_registry(registry)
+    previous_tracer = obs.set_tracer(tracer)
+
+    def restore():
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)
+
+    return registry, tracer, restore
+
+
+class TestTracerBasics:
+    def test_spans_carry_monotonic_sequence(self):
+        tracer = Tracer()
+        a = tracer.begin("report", key="flow-a")
+        b = tracer.begin("report", key="flow-b")
+        tracer.span(a, "stage.one")
+        tracer.span(b, "stage.one")
+        tracer.span(a, "stage.two", detail="x")
+        record = tracer.trace(a)
+        assert record.stages == ("stage.one", "stage.two")
+        seqs = [span.seq for span in record.spans]
+        assert seqs == sorted(seqs)
+        # The interleaved span on b sits between a's two spans.
+        assert record.spans[0].seq < tracer.trace(b).spans[0].seq
+        assert tracer.trace(b).spans[0].seq < record.spans[1].seq
+
+    def test_frame_binding_routes_spans(self):
+        tracer = Tracer()
+        trace_id = tracer.begin("report")
+        tracer.bind_frame(b"frame-1", trace_id)
+        tracer.frame_span(b"frame-1", "nic.ingest", "executed")
+        tracer.frame_span(b"unknown", "nic.ingest")  # silently ignored
+        record = tracer.trace_for_frame(b"frame-1")
+        assert record.trace_id == trace_id
+        assert record.stages == ("nic.ingest",)
+
+    def test_span_on_unknown_trace_is_ignored(self):
+        tracer = Tracer()
+        tracer.span(999, "stage")
+        assert tracer.spans_recorded == 0
+
+    def test_render_contains_key_and_stages(self):
+        tracer = Tracer()
+        trace_id = tracer.begin("switch_report", key="(1, 2)")
+        tracer.span(trace_id, "switch.report", "copies=2")
+        text = tracer.trace(trace_id).render()
+        assert "kind=switch_report" in text
+        assert "key=(1, 2)" in text
+        assert "switch.report (copies=2)" in text
+
+    def test_eviction_unbinds_frames(self):
+        tracer = Tracer(max_traces=2)
+        first = tracer.begin("report")
+        tracer.bind_frame(b"old-frame", first)
+        tracer.begin("report")
+        tracer.begin("report")  # evicts `first`
+        assert tracer.trace(first) is None
+        assert tracer.trace_for_frame(b"old-frame") is None
+        tracer.frame_span(b"old-frame", "late.stage")  # must not raise
+        assert tracer.traces_evicted == 1
+        assert len(tracer.traces()) == 2
+
+    def test_traces_filter_by_kind(self):
+        tracer = Tracer()
+        tracer.begin("report")
+        tracer.begin("query")
+        assert len(tracer.traces()) == 2
+        assert [r.kind for r in tracer.traces(kind="query")] == ["query"]
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.begin("report") == 0
+        NULL_TRACER.bind_frame(b"f", 0)
+        NULL_TRACER.span(0, "stage")
+        NULL_TRACER.frame_span(b"f", "stage")
+        assert NULL_TRACER.trace(0) is None
+        assert NULL_TRACER.trace_for_frame(b"f") is None
+        assert NULL_TRACER.traces() == []
+
+
+class TestSpanOrderingUnderReordering:
+    def test_adjacent_swap_orders_spans_after_newer_frame(self):
+        """With reordering=1.0 the first frame is held and must acquire its
+        delivery span *after* the frame that overtook it."""
+        _registry, tracer, restore = _fresh_obs()
+        try:
+            fabric = ImpairedFabric(InlineFabric(), reordering=1.0, seed=0)
+            fabric.attach(1, _Port())
+            held_frame, overtaking_frame = b"frame-A", b"frame-B"
+            trace_a = tracer.begin("report", key="A")
+            trace_b = tracer.begin("report", key="B")
+            tracer.bind_frame(held_frame, trace_a)
+            tracer.bind_frame(overtaking_frame, trace_b)
+
+            assert fabric.send(1, held_frame) is None  # held for reorder
+            fabric.send(1, overtaking_frame)  # overtakes, releases A after
+
+            record_a = tracer.trace(trace_a)
+            record_b = tracer.trace(trace_b)
+            assert record_a.stages == (
+                "fabric.impair",  # held:reorder
+                "fabric.impair",  # released:reorder
+                "fabric.deliver",
+            )
+            assert [s.detail for s in record_a.spans[:2]] == [
+                "held:reorder",
+                "released:reorder",
+            ]
+            assert record_b.stages == ("fabric.deliver",)
+            deliver_a = record_a.spans[-1].seq
+            deliver_b = record_b.spans[-1].seq
+            assert deliver_b < deliver_a  # B landed first: adjacent swap
+        finally:
+            restore()
+
+    def test_held_frame_released_by_flush_is_traced(self):
+        _registry, tracer, restore = _fresh_obs()
+        try:
+            fabric = ImpairedFabric(InlineFabric(), reordering=1.0, seed=0)
+            fabric.attach(1, _Port())
+            trace_id = tracer.begin("report")
+            tracer.bind_frame(b"only-frame", trace_id)
+            assert fabric.send(1, b"only-frame") is None
+            assert fabric.pending() == 1
+            fabric.flush()
+            record = tracer.trace(trace_id)
+            assert record.stages[-1] == "fabric.deliver"
+        finally:
+            restore()
+
+    def test_duplicate_frames_share_one_trace(self):
+        _registry, tracer, restore = _fresh_obs()
+        try:
+            fabric = ImpairedFabric(InlineFabric(), duplication=1.0, seed=0)
+            port = _Port()
+            fabric.attach(1, port)
+            trace_id = tracer.begin("report")
+            tracer.bind_frame(b"dup-frame", trace_id)
+            fabric.send(1, b"dup-frame")
+            assert port.frames == [b"dup-frame", b"dup-frame"]
+            record = tracer.trace(trace_id)
+            # offered once, duplicated once, delivered twice -- all on
+            # the same trace because a duplicate IS the same report copy.
+            assert record.stages.count("fabric.deliver") == 2
+            assert "duplicated" in [s.detail for s in record.spans]
+        finally:
+            restore()
+
+    def test_lost_frame_records_drop_span(self):
+        _registry, tracer, restore = _fresh_obs()
+        try:
+            fabric = ImpairedFabric(InlineFabric(), loss=1.0, seed=0)
+            fabric.attach(1, _Port())
+            trace_id = tracer.begin("report")
+            tracer.bind_frame(b"doomed", trace_id)
+            assert fabric.send(1, b"doomed") is False
+            record = tracer.trace(trace_id)
+            assert record.stages == ("fabric.impair",)
+            assert record.spans[0].detail == "dropped:loss"
+        finally:
+            restore()
