@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs experiments experiments-full examples lint ci all
+.PHONY: install test bench bench-obs bench-obs-timeseries experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -19,7 +19,7 @@ lint:
 	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-ci: lint bench-obs
+ci: lint bench-obs bench-obs-timeseries
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
@@ -29,6 +29,12 @@ bench:
 # than 15% on the report_batch hot path (writes benchmarks/BENCH_obs.json).
 bench-obs:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q
+
+# Time-series scraper gate: fails if scraping at realistic cadence costs
+# more than 10% on the batched report path (writes
+# benchmarks/BENCH_obs_timeseries.json).
+bench-obs-timeseries:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_timeseries.py -q
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

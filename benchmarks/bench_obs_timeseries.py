@@ -1,0 +1,128 @@
+"""Time-series scraper overhead: periodic scrapes must be ~free.
+
+The ``repro.obs.timeseries`` scraper rides the drivers' logical clocks
+(every N reports), so its cost lands directly on the batched report hot
+path.  This gate times the identical enabled-registry workload with and
+without a :class:`~repro.obs.MetricsScraper` at a realistic cadence and
+enforces the bar ``make bench-obs-timeseries`` ships with: at most 10%
+overhead, recorded to ``BENCH_obs_timeseries.json`` alongside
+``BENCH_obs.json``.
+"""
+
+import json
+import pathlib
+import time
+
+from repro import obs
+from repro.core.config import DartConfig
+from repro.collector.store import DartStore
+from repro.experiments.reporting import print_experiment
+
+#: Where the scraper-overhead comparison records its rows.
+ARTIFACT = pathlib.Path(__file__).parent / "BENCH_obs_timeseries.json"
+
+#: The acceptance bar: scraper overhead on the batched report path.
+MAX_SCRAPER_OVERHEAD = 0.10
+
+#: Realistic cadence: one scrape per this many reports (the interval the
+#: simulation drivers default to in the examples).
+SCRAPE_EVERY = 256
+
+
+def _time_best_of(func, repeats=5):
+    """Best wall-clock of ``repeats`` runs; each run builds fresh state."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def scraper_overhead_rows(reports: int = 8_000) -> list:
+    """Time batched reports with and without a scraping sidecar.
+
+    Both runs use an *enabled* registry (the scraper reads it, so a
+    disabled baseline would be comparing different pipelines) and the same
+    batch structure: ``put_many`` in :data:`SCRAPE_EVERY`-report batches,
+    with the scraped run calling ``maybe_scrape`` after each batch --
+    exactly how :class:`~repro.network.simulation.IntSimulation` drives it.
+    """
+    config = DartConfig(slots_per_collector=1 << 16, num_collectors=2)
+    items = [(("flow", i), (i % 251).to_bytes(20, "big")) for i in range(reports)]
+    batches = [
+        items[start:start + SCRAPE_EVERY]
+        for start in range(0, reports, SCRAPE_EVERY)
+    ]
+
+    def run_with(scraping: bool):
+        def run():
+            registry = obs.MetricsRegistry(enabled=True)
+            previous = obs.set_registry(registry)
+            try:
+                store = DartStore(config)
+                scraper = obs.MetricsScraper(registry, interval=SCRAPE_EVERY)
+                sent = 0
+                for batch in batches:
+                    store.put_many(batch)
+                    sent += len(batch)
+                    if scraping:
+                        scraper.maybe_scrape(sent)
+            finally:
+                obs.set_registry(previous)
+
+        return run
+
+    timings = {
+        "no-scraper": _time_best_of(run_with(False)),
+        "scraper": _time_best_of(run_with(True)),
+    }
+    baseline = timings["no-scraper"]
+    rows = []
+    for mode, seconds in timings.items():
+        rows.append(
+            {
+                "mode": mode,
+                "reports": reports,
+                "scrape_every": SCRAPE_EVERY,
+                "seconds": round(seconds, 6),
+                "reports_per_sec": round(reports / seconds, 1),
+                "overhead_vs_baseline": round(seconds / baseline - 1.0, 4),
+            }
+        )
+    return rows
+
+
+def test_scraper_overhead(run_once, full_scale):
+    """Scraping at realistic cadence must stay within 10% of no-scraper."""
+    reports = 40_000 if full_scale else 8_000
+    rows = run_once(scraper_overhead_rows, reports=reports)
+    print_experiment(
+        "Time-series scraper overhead on the batched report path", rows
+    )
+    by_mode = {row["mode"]: row for row in rows}
+    assert by_mode["no-scraper"]["overhead_vs_baseline"] == 0.0
+    assert by_mode["scraper"]["overhead_vs_baseline"] <= MAX_SCRAPER_OVERHEAD
+    ARTIFACT.write_text(json.dumps(rows, indent=2) + "\n")
+
+
+def test_scraper_actually_scraped():
+    """The timed loop's cadence really produces one point per batch."""
+    registry = obs.MetricsRegistry(enabled=True)
+    previous = obs.set_registry(registry)
+    try:
+        store = DartStore(DartConfig(slots_per_collector=1 << 12))
+        scraper = obs.MetricsScraper(registry, interval=SCRAPE_EVERY)
+        sent = 0
+        for _batch in range(4):
+            store.put_many(
+                ((("flow", sent + i), b"\x01" * 20) for i in range(SCRAPE_EVERY))
+            )
+            sent += SCRAPE_EVERY
+            scraper.maybe_scrape(sent)
+        series = scraper.series("store_puts", scraper.family("store_puts")[0].labels)
+        assert scraper.scrapes == 4
+        assert len(scraper.family("store_puts")) == 1
+        assert series.delta() == 3 * SCRAPE_EVERY
+    finally:
+        obs.set_registry(previous)

@@ -8,7 +8,12 @@ Operator-facing entry points over the library:
 - ``theory`` -- tabulate the section-4 closed forms over load/N grids;
 - ``trace`` -- run fat-tree INT path tracing end to end and evaluate it;
 - ``experiments`` -- regenerate every paper exhibit (see
-  :mod:`repro.experiments.__main__`).
+  :mod:`repro.experiments.__main__`);
+- ``obs`` -- run an instrumented packet-level pipeline and inspect it:
+  ``snapshot`` (one health dashboard / exposition), ``watch`` (per-tick
+  dashboard re-renders with sparkline trends), ``alerts`` (the SLO engine
+  incl. paper-model conformance rules) and ``profile`` (wall-clock stage
+  profile, optionally exported as a Chrome ``trace_event`` file).
 """
 
 from __future__ import annotations
@@ -129,12 +134,17 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.fabric.fabric import BufferedFabric
     from repro.fabric.impaired import ImpairedFabric
 
-    # A fresh registry/tracer so the snapshot covers exactly this pipeline;
-    # the previous defaults are restored before returning.
+    mode = args.mode
+    # A fresh registry/tracer/profiler so the run covers exactly this
+    # pipeline; the previous defaults are restored before returning.
     registry = obs.MetricsRegistry(enabled=True)
     tracer = obs.Tracer()
+    profiler = (
+        obs.StageProfiler(registry) if mode == "profile" else obs.NULL_PROFILER
+    )
     previous_registry = obs.set_registry(registry)
     previous_tracer = obs.set_tracer(tracer)
+    previous_profiler = obs.set_profiler(profiler)
     try:
         config = DartConfig(
             slots_per_collector=args.slots,
@@ -149,20 +159,70 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         store = DartStore(config, packet_level=True, fabric=fabric)
+        scraper = obs.MetricsScraper(registry, persist_path=args.persist)
+        engine = obs.SloEngine(scraper, registry)
+        engine.add_rules(obs.default_rules())
+        engine.add_rules(obs.conformance_rules(config))
+
+        def trends() -> str:
+            """Sparkline per-tick deltas of the headline families."""
+            lines = ["== trends (per-tick deltas) =="]
+            for name in (
+                "fabric_frames_delivered",
+                "nic_frames_received",
+                "mem_writes",
+                "queries_answered",
+            ):
+                points = scraper.total_series(name)
+                if len(points) < 2:
+                    continue
+                values = [value for _tick, value in points]
+                steps = [
+                    max(0.0, after - before)
+                    for before, after in zip(values, values[1:])
+                ]
+                lines.append(
+                    f"{name:<28} {obs.sparkline(steps)}  last={steps[-1]:g}"
+                )
+            return "\n".join(lines)
+
         keys = [("10.0.0.1", f"10.0.1.{i % 250}", 5000 + i, 80, 6)
                 for i in range(args.keys)]
-        store.put_many((key, f"v{i}".encode()) for i, key in enumerate(keys))
-        fabric.flush()
-        for key in keys:
-            store.get(key)
-            store.get(key, policy=ReturnPolicy.FIRST_MATCH)
+        rounds = max(1, args.rounds)
+        for tick in range(1, rounds + 1):
+            lo = (tick - 1) * len(keys) // rounds
+            hi = tick * len(keys) // rounds
+            chunk = keys[lo:hi]
+            store.put_many(
+                (key, f"v{lo + i}".encode()) for i, key in enumerate(chunk)
+            )
+            fabric.flush()
+            for key in chunk:
+                store.get(key)
+                store.get(key, policy=ReturnPolicy.FIRST_MATCH)
+            scraper.scrape(tick)
+            engine.evaluate(tick)
+            if mode == "watch":
+                print(f"--- tick {tick}/{rounds} ---")
+                print(obs.render_dashboard(registry))
+                print()
+                print(trends())
+                print()
 
-        if args.format == "prom":
-            print(registry.to_prometheus(), end="")
-        elif args.format == "json":
-            print(registry.to_json(indent=2))
-        else:
-            print(obs.render_dashboard(registry))
+        if mode == "alerts":
+            print(engine.render())
+        elif mode == "profile":
+            print(profiler.render())
+            if args.chrome_trace:
+                profiler.write_chrome_trace(args.chrome_trace)
+                print(f"chrome trace written to {args.chrome_trace}")
+        elif mode == "snapshot":
+            if args.format == "prom":
+                print(registry.to_prometheus(), end="")
+            elif args.format == "json":
+                print(registry.to_json(indent=2))
+            else:
+                print(obs.render_dashboard(registry))
         if args.trace:
             print()
             print(f"== first {args.trace} report traces ==")
@@ -172,6 +232,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     finally:
         obs.set_registry(previous_registry)
         obs.set_tracer(previous_tracer)
+        obs.set_profiler(previous_profiler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -225,6 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
         "obs",
         help="run an instrumented packet-level pipeline, print its health",
     )
+    obs_p.add_argument(
+        "mode", nargs="?",
+        choices=["snapshot", "watch", "alerts", "profile"],
+        default="snapshot",
+        help="snapshot: one dashboard; watch: per-tick re-renders with "
+             "sparklines; alerts: the SLO/conformance engine; profile: "
+             "wall-clock stage profile",
+    )
     obs_p.add_argument("--keys", type=int, default=2000)
     obs_p.add_argument("--slots", type=int, default=4096)
     obs_p.add_argument("--redundancy", type=int, default=2)
@@ -239,6 +308,18 @@ def build_parser() -> argparse.ArgumentParser:
     obs_p.add_argument(
         "--trace", type=int, default=0, metavar="K",
         help="also print the first K per-report traces",
+    )
+    obs_p.add_argument(
+        "--rounds", type=int, default=4,
+        help="logical scrape ticks the workload is split across",
+    )
+    obs_p.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="profile mode: write a chrome://tracing trace_event file",
+    )
+    obs_p.add_argument(
+        "--persist", metavar="PATH", default=None,
+        help="append one JSON line per scrape for cross-run trend diffing",
     )
     obs_p.set_defaults(func=_cmd_obs)
     return parser

@@ -88,6 +88,7 @@ class DartStore:
                 self._switch, self.cluster.endpoints()
             )
         registry = obs.get_registry()
+        self._profiler = obs.get_profiler()
         labels = registry.instance_labels("DartStore")
         #: Telemetry reports stored through this facade.
         self.c_puts = registry.counter("store_puts", labels=labels)
@@ -158,7 +159,8 @@ class DartStore:
         Returns the number of slot copies written (frames offered in
         packet-level mode).
         """
-        timed = self._h_put_many_seconds.enabled
+        profiler = self._profiler
+        timed = self._h_put_many_seconds.enabled or profiler.enabled
         if timed:
             started = perf_counter()
         if self._switch is not None:
@@ -171,15 +173,23 @@ class DartStore:
             self.c_puts.inc(count)
             self.fabric.flush()
             if timed:
-                self._h_put_many_seconds.observe(perf_counter() - started)
+                self._finish_put_many(started)
             return offered
         items = list(items)
         self.c_puts.inc(len(items))
         writes = self.reporter.report_batch(items)
         written = self.cluster.write_slots(writes)
         if timed:
-            self._h_put_many_seconds.observe(perf_counter() - started)
+            self._finish_put_many(started)
         return written
+
+    def _finish_put_many(self, started: float) -> None:
+        """Record put_many timing into the histogram and stage profiler."""
+        ended = perf_counter()
+        if self._h_put_many_seconds.enabled:
+            self._h_put_many_seconds.observe(ended - started)
+        if self._profiler.enabled:
+            self._profiler.record("store.put_many", started, ended)
 
     # ------------------------------------------------------------------
     # Read path

@@ -58,6 +58,7 @@ class DartQueryClient:
         registry = obs.get_registry()
         self._registry = registry
         self._tracer = obs.get_tracer()
+        self._profiler = obs.get_profiler()
         self._labels = registry.instance_labels("DartQueryClient")
         #: Queries executed, across all policies.
         self.c_queries = registry.counter(
@@ -98,7 +99,8 @@ class DartQueryClient:
         """Run a key query and return the resolved result."""
         if policy is None:
             policy = self.policy
-        timed = self._h_query_seconds.enabled
+        profiler = self._profiler
+        timed = self._h_query_seconds.enabled or profiler.enabled
         if timed:
             started = perf_counter()
         collector = self.addressing.collector_of(key)
@@ -121,7 +123,11 @@ class DartQueryClient:
         if result.answered:
             answered.inc()
         if timed:
-            self._h_query_seconds.observe(perf_counter() - started)
+            ended = perf_counter()
+            if self._h_query_seconds.enabled:
+                self._h_query_seconds.observe(ended - started)
+            if profiler.enabled:
+                profiler.record("client.query", started, ended)
         tracer = self._tracer
         if tracer.enabled:
             trace_id = tracer.begin("query", key=repr(key))

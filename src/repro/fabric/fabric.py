@@ -173,6 +173,7 @@ class Fabric:
         registry = obs.get_registry()
         self._registry = registry
         self._tracer = obs.get_tracer()
+        self._profiler = obs.get_profiler()
         self.counters = FabricCounters(registry, kind=type(self).__name__)
         self._h_frame_bytes = registry.histogram(
             "fabric_frame_bytes",
@@ -273,7 +274,13 @@ class Fabric:
 
     def _deliver(self, endpoint_id: int, frame: bytes) -> bool:
         """Hand one frame to the endpoint port, keeping the counters exact."""
-        executed = self.port(endpoint_id).receive_frame(frame)
+        profiler = self._profiler
+        if profiler.enabled:
+            started = profiler.now()
+            executed = self.port(endpoint_id).receive_frame(frame)
+            profiler.record("fabric.deliver", started, profiler.now())
+        else:
+            executed = self.port(endpoint_id).receive_frame(frame)
         counters = self.counters
         counters.c_delivered.inc()
         if executed:
@@ -299,11 +306,16 @@ class Fabric:
                 tracer.frame_span(
                     frame, "fabric.deliver", f"{type(self).__name__}:batched"
                 )
+        profiler = self._profiler
+        if profiler.enabled:
+            started = profiler.now()
         ingest_many = getattr(port, "ingest_many", None)
         if ingest_many is not None:
             executed = ingest_many(frames)
         else:
             executed = sum(1 for frame in frames if port.receive_frame(frame))
+        if profiler.enabled:
+            profiler.record("fabric.deliver", started, profiler.now())
         counters = self.counters
         counters.c_delivered.inc(len(frames))
         counters.c_executed.inc(executed)

@@ -96,6 +96,7 @@ class PacketLevelIntNetwork:
         config: DartConfig,
         max_int_hops: int = 8,
         fabric: Optional[Fabric] = None,
+        scraper=None,
     ) -> None:
         self.topology = topology
         self.config = config
@@ -113,6 +114,9 @@ class PacketLevelIntNetwork:
             plane.connect_switch(dart, self.cluster)
             self.transits[node.switch_id] = IntTransitSwitch(node.switch_id)
             self.sinks[node.switch_id] = IntSinkSwitch(node.switch_id, dart)
+        #: Optional MetricsScraper driven by the packet count (one logical
+        #: tick per :meth:`send`), keeping series cadence deterministic.
+        self.scraper = scraper
         self.packets_sent = 0
 
     def send(self, flow: Flow, user_payload: bytes = b"app-data") -> DeliveryResult:
@@ -133,6 +137,8 @@ class PacketLevelIntNetwork:
                 # None = deferred by a buffered fabric; count the frame as
                 # in flight, it executes at the next flush.
                 executed += 1
+        if self.scraper is not None:
+            self.scraper.maybe_scrape(self.packets_sent)
         return DeliveryResult(
             delivered_payload=delivered,
             recorded_path=recorded,

@@ -113,6 +113,11 @@ class IntSimulation:
         The transport report frames traverse in packet-level mode; defaults
         to an :class:`~repro.fabric.InlineFabric`.  Loss drawn by ``loss``
         is applied *before* the fabric, preserving seeded RNG sequences.
+    scraper:
+        Optional :class:`~repro.obs.timeseries.MetricsScraper` driven by
+        the simulation's logical clock: after every report the simulation
+        calls ``scraper.maybe_scrape(reports_sent)``, so time-series
+        cadence is deterministic in report counts, not wall-clock.
     """
 
     def __init__(
@@ -123,6 +128,7 @@ class IntSimulation:
         packet_level: bool = False,
         loss: Optional[LossModel] = None,
         fabric: Optional[Fabric] = None,
+        scraper=None,
     ) -> None:
         if config.value_bytes < 20:
             raise ValueError(
@@ -135,6 +141,7 @@ class IntSimulation:
         self.client = DartQueryClient(config, reader=self.cluster.read_slot)
         self.loss = loss if loss is not None else LossModel(0.0)
         self.packet_level = packet_level
+        self.scraper = scraper
         self.records: List[PathRecord] = []
         self.reports_sent = 0
 
@@ -184,6 +191,8 @@ class IntSimulation:
                     self.cluster[write.collector_id].write_slot(
                         write.slot_index, write.payload
                     )
+        if self.scraper is not None:
+            self.scraper.maybe_scrape(self.reports_sent)
 
     # ------------------------------------------------------------------
     # Evaluation

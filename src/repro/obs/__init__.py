@@ -1,21 +1,27 @@
 """``repro.obs``: the process-wide observability subsystem.
 
 One registry of named counters/gauges/histograms (:mod:`repro.obs.metrics`),
-one per-report tracer (:mod:`repro.obs.tracing`), and derived
-pipeline-health gauges (:mod:`repro.obs.health`).  Every datapath layer --
-fabric, NIC, memory region, switch, stores, query clients -- instruments
-itself through the accessors below, capturing its metrics at construction:
+one per-report tracer (:mod:`repro.obs.tracing`), derived pipeline-health
+gauges (:mod:`repro.obs.health`), ring-buffer time series scraped from the
+registry (:mod:`repro.obs.timeseries`), a declarative SLO/alerting engine
+with paper-model conformance rules (:mod:`repro.obs.slo`), and a stage
+profiler with Chrome ``trace_event`` export (:mod:`repro.obs.profile`).
+Every datapath layer -- fabric, NIC, memory region, switch, stores, query
+clients -- instruments itself through the accessors below, capturing its
+metrics at construction:
 
 >>> from repro import obs
 >>> registry = obs.get_registry()          # the process default (enabled)
 >>> obs.set_tracer(obs.Tracer())           # opt into per-report tracing
+>>> obs.set_profiler(obs.StageProfiler())  # opt into stage timing
 
 Metrics are on by default (plain integer adds; the structural counters the
-tests reconcile live here).  Tracing defaults to the no-op
-:data:`~repro.obs.tracing.NULL_TRACER`.  For a fully zero-cost hot path,
+tests reconcile live here).  Tracing and profiling default to the no-op
+:data:`~repro.obs.tracing.NULL_TRACER` and
+:data:`~repro.obs.profile.NULL_PROFILER`.  For a fully zero-cost hot path,
 install a disabled registry -- components built afterwards receive shared
-no-op metrics (``MetricsRegistry(enabled=False)``); the ``bench-obs``
-target proves the overhead budget either way.
+no-op metrics (``MetricsRegistry(enabled=False)``); the ``bench-obs`` and
+``bench-obs-timeseries`` targets prove the overhead budgets either way.
 """
 
 from __future__ import annotations
@@ -42,12 +48,38 @@ from repro.obs.metrics import (
     NullGauge,
     NullHistogram,
 )
-from repro.obs.tracing import NULL_TRACER, NullTracer, Span, TraceRecord, Tracer
+from repro.obs.profile import NULL_PROFILER, NullProfiler, StageProfiler, StageStats
+from repro.obs.slo import (
+    Alert,
+    AlertState,
+    SloEngine,
+    SloRule,
+    conformance_rules,
+    default_rules,
+    expected_success,
+)
+from repro.obs.timeseries import (
+    MetricsScraper,
+    Series,
+    load_jsonl,
+    sparkline,
+    trend_diff,
+)
+from repro.obs.tracing import (
+    EVICTED_TRACE,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceRecord,
+    Tracer,
+)
 
 #: The process-wide default registry (metrics enabled).
 _registry: MetricsRegistry = MetricsRegistry(enabled=True)
 #: The process-wide default tracer (tracing off).
 _tracer = NULL_TRACER
+#: The process-wide default stage profiler (profiling off).
+_profiler = NULL_PROFILER
 
 
 def get_registry() -> MetricsRegistry:
@@ -81,8 +113,45 @@ def set_tracer(tracer) -> object:
     return previous
 
 
+def get_profiler():
+    """The stage profiler components record timings against by default."""
+    return _profiler
+
+
+def set_profiler(profiler) -> object:
+    """Install ``profiler`` as the process default; returns the previous one.
+
+    Like the registry and tracer, components capture the profiler at
+    construction -- install a real :class:`StageProfiler` *before*
+    building the pipeline under measurement.
+    """
+    global _profiler
+    previous = _profiler
+    _profiler = profiler
+    return previous
+
+
 __all__ = [
+    "Alert",
+    "AlertState",
     "Counter",
+    "EVICTED_TRACE",
+    "MetricsScraper",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Series",
+    "SloEngine",
+    "SloRule",
+    "StageProfiler",
+    "StageStats",
+    "conformance_rules",
+    "default_rules",
+    "expected_success",
+    "get_profiler",
+    "set_profiler",
+    "load_jsonl",
+    "sparkline",
+    "trend_diff",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -39,9 +39,16 @@ class QueryHealth:
     answered: int
 
     @property
-    def success_rate(self) -> float:
-        """Fraction of queries that returned a value."""
-        return _rate(self.answered, self.total)
+    def success_rate(self):
+        """Fraction of queries that returned a value.
+
+        ``None`` when zero queries were issued under the policy -- an
+        empty window has no success rate, and 0.0 would read as "every
+        query failed" to dashboards and the SLO conformance rules.
+        """
+        if not self.total:
+            return None
+        return self.answered / self.total
 
 
 @dataclass
@@ -278,10 +285,15 @@ def render_dashboard(registry: MetricsRegistry) -> str:
     lines.append("== query success rate ==")
     if health.queries:
         for query in health.queries:
+            rate = (
+                "n/a"
+                if query.success_rate is None
+                else f"{query.success_rate:.4f}"
+            )
             lines.append(
                 f"policy={query.policy:<14} total={query.total:<8} "
                 f"answered={query.answered:<8} "
-                f"success_rate={query.success_rate:.4f}"
+                f"success_rate={rate}"
             )
     else:
         lines.append("(no queries executed)")

@@ -338,13 +338,21 @@ class MetricsSnapshot:
 
     ``samples`` maps ``(name, labels)`` to ``(kind, value)`` where value is
     a number for counters/gauges and ``(bucket_counts, sum, bounds)`` for
-    histograms.  Snapshots support :meth:`diff` (this minus an earlier
-    snapshot: counters and histograms subtract, gauges keep this snapshot's
-    reading) and the same expositions as the live registry.
+    histograms.  ``help_texts`` maps metric names to their family help
+    strings (first non-empty help wins), carried so the Prometheus
+    exposition can emit ``# HELP`` once per family.  Snapshots support
+    :meth:`diff` (this minus an earlier snapshot: counters and histograms
+    subtract, gauges keep this snapshot's reading) and the same
+    expositions as the live registry.
     """
 
-    def __init__(self, samples: Dict[Tuple[str, Labels], tuple]) -> None:
+    def __init__(
+        self,
+        samples: Dict[Tuple[str, Labels], tuple],
+        help_texts: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.samples = samples
+        self.help_texts = help_texts or {}
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -393,7 +401,7 @@ class MetricsSnapshot:
                 )
             else:
                 out[key] = (kind, value - before[1])
-        return MetricsSnapshot(out)
+        return MetricsSnapshot(out, help_texts=dict(self.help_texts))
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """JSON exposition: ``[{name, labels, kind, ...}, ...]``."""
@@ -414,7 +422,15 @@ class MetricsSnapshot:
         return json.dumps(rows, indent=indent)
 
     def to_prometheus(self, prefix: str = "repro_") -> str:
-        """Prometheus text exposition (one family per metric name)."""
+        """Prometheus text exposition.
+
+        The ``# HELP`` / ``# TYPE`` comment pair is emitted exactly once
+        per metric *family* (name), ahead of all of the family's samples
+        -- per-sample repetition for labelled metrics is rejected by real
+        Prometheus parsers, and the round-trip test enforces the family
+        grouping mechanically.  ``# HELP`` is omitted for families with no
+        help text (legal per the exposition format).
+        """
         by_name: Dict[str, List[Tuple[Labels, tuple]]] = {}
         kinds: Dict[str, str] = {}
         for (name, labels), (kind, value) in sorted(self.samples.items()):
@@ -424,6 +440,9 @@ class MetricsSnapshot:
         for name in sorted(by_name):
             kind = kinds[name]
             full = prefix + name
+            help_text = self.help_texts.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {full} {_escape_help(help_text)}")
             lines.append(f"# TYPE {full} {kind}")
             for labels, (_kind, value) in by_name[name]:
                 if kind == "histogram":
@@ -456,11 +475,30 @@ class MetricsSnapshot:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` payload (backslash and newline, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value (backslash, double-quote, newline)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(labels: Labels) -> str:
-    """Prometheus label rendering: ``{k="v",...}`` or empty string."""
+    """Prometheus label rendering: ``{k="v",...}`` or empty string.
+
+    Label *values* are escaped per the exposition format; unescaped
+    quotes/backslashes in values are another construct real parsers
+    reject.
+    """
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return "{" + body + "}"
 
 
@@ -591,10 +629,13 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:
-        """An immutable copy of every live series."""
+        """An immutable copy of every live series (family help included)."""
         samples: Dict[Tuple[str, Labels], tuple] = {}
+        help_texts: Dict[str, str] = {}
         for name, family in self._series.items():
             for labels, metric in family.items():
+                if metric.help and name not in help_texts:
+                    help_texts[name] = metric.help
                 if metric.kind == "histogram":
                     samples[(name, labels)] = (
                         "histogram",
@@ -602,7 +643,7 @@ class MetricsRegistry:
                     )
                 else:
                     samples[(name, labels)] = (metric.kind, metric.value)
-        return MetricsSnapshot(samples)
+        return MetricsSnapshot(samples, help_texts=help_texts)
 
     def reset(self) -> None:
         """Zero every metric (series identities survive)."""

@@ -64,6 +64,14 @@ class TraceRecord:
         return "\n".join([head] + [f"  {span}" for span in self.spans])
 
 
+#: Deterministic marker returned by :meth:`Tracer.trace` for ids that were
+#: assigned but have since been evicted from the ring (or dropped by a
+#: reset).  A single shared record -- callers can test identity -- whose
+#: ``kind`` is ``"evicted"`` so renders stay meaningful; never KeyError,
+#: never confusable with "this id was never issued" (which returns None).
+EVICTED_TRACE = TraceRecord(trace_id=-1, kind="evicted")
+
+
 class Tracer:
     """Assigns trace ids and records spans keyed by id or frame bytes.
 
@@ -72,6 +80,9 @@ class Tracer:
     max_traces:
         Ring capacity: beginning a trace beyond this evicts the oldest
         trace (and unbinds its frames), bounding memory for long runs.
+        Evicted ids remain *queryable*: :meth:`trace` returns the shared
+        :data:`EVICTED_TRACE` marker for them, deterministically, however
+        far the ring has wrapped.
     """
 
     enabled = True
@@ -152,8 +163,18 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def trace(self, trace_id: int) -> Optional[TraceRecord]:
-        """The record for one trace id (None if unknown or evicted)."""
-        return self._traces.get(trace_id)
+        """The record for one trace id.
+
+        Returns the live record, the shared :data:`EVICTED_TRACE` marker
+        for ids this tracer issued but has since evicted (ring wraparound)
+        or dropped (reset), and None for ids it never issued.
+        """
+        record = self._traces.get(trace_id)
+        if record is not None:
+            return record
+        if 1 <= trace_id < self._next_id:
+            return EVICTED_TRACE
+        return None
 
     def trace_for_frame(self, frame: bytes) -> Optional[TraceRecord]:
         """The record a frame is bound to, if any."""

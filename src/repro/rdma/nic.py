@@ -199,6 +199,7 @@ class RdmaNic:
         self.validate_icrc = validate_icrc
         registry = obs.get_registry()
         self._tracer = obs.get_tracer()
+        self._profiler = obs.get_profiler()
         self.counters = NicCounters(registry)
         self._h_ingest_batch = registry.histogram(
             "nic_ingest_batch_frames",
@@ -267,7 +268,8 @@ class RdmaNic:
         :meth:`receive_frame` in order.
         """
         receive_frame = self.receive_frame
-        timed = self._h_ingest_seconds.enabled
+        profiler = self._profiler
+        timed = self._h_ingest_seconds.enabled or profiler.enabled
         if timed:
             started = perf_counter()
         executed = 0
@@ -277,8 +279,12 @@ class RdmaNic:
             if receive_frame(frame):
                 executed += 1
         if timed:
-            self._h_ingest_seconds.observe(perf_counter() - started)
-            self._h_ingest_batch.observe(count)
+            ended = perf_counter()
+            if self._h_ingest_seconds.enabled:
+                self._h_ingest_seconds.observe(ended - started)
+                self._h_ingest_batch.observe(count)
+            if profiler.enabled:
+                profiler.record("nic.ingest", started, ended)
         return executed
 
     def receive_packet(self, packet: RoceV2Packet) -> bool:

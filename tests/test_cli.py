@@ -127,9 +127,74 @@ class TestObs:
 
         registry_before = obs.get_registry()
         tracer_before = obs.get_tracer()
+        profiler_before = obs.get_profiler()
         assert main(self.SMALL) == 0
         assert obs.get_registry() is registry_before
         assert obs.get_tracer() is tracer_before
+        assert obs.get_profiler() is profiler_before
+
+    def test_watch_mode_renders_per_tick_frames_with_sparklines(self, capsys):
+        args = ["obs", "watch"] + self.SMALL[1:] + ["--rounds", "3"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("== pipeline health ==") == 3
+        assert "--- tick 1/3 ---" in out
+        assert "--- tick 3/3 ---" in out
+        assert "== trends (per-tick deltas) ==" in out
+        assert "nic_frames_received" in out
+        # The sparkline blocks only appear once a delta window exists.
+        assert any(block in out for block in "▁▂▃▄▅▆▇█")
+
+    def test_alerts_mode_runs_the_slo_engine(self, capsys):
+        args = ["obs", "alerts"] + self.SMALL[1:]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "== alerts (" in out
+        assert "frame-loss-rate" in out
+        assert "conformance-PLURALITY" in out
+        assert "fabric-nic-reconciliation" in out
+
+    def test_alerts_fire_with_heavy_impairment(self, capsys):
+        args = [
+            "obs", "alerts",
+            "--keys", "300", "--slots", "4096", "--seed", "5",
+            "--loss", "0.5", "--duplication", "0", "--reordering", "0",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[  firing] conformance-PLURALITY" in out
+        assert "[  firing] frame-loss-rate" in out
+
+    def test_profile_mode_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "pipeline.json"
+        args = (
+            ["obs", "profile"]
+            + self.SMALL[1:]
+            + ["--chrome-trace", str(trace_path)]
+        )
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "== stage profile (wall-clock) ==" in out
+        for stage in ("fabric.deliver", "nic.ingest",
+                      "store.put_many", "client.query"):
+            assert stage in out
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "client.query" in names
+
+    def test_persist_writes_scrape_lines(self, tmp_path, capsys):
+        from repro.obs.timeseries import load_jsonl
+
+        path = tmp_path / "run.jsonl"
+        args = self.SMALL + ["--persist", str(path), "--rounds", "2"]
+        assert main(args) == 0
+        capsys.readouterr()
+        rows = load_jsonl(str(path))
+        assert [row["tick"] for row in rows] == [1, 2]
+        assert any(s["name"] == "store_puts" for s in rows[-1]["samples"])
 
 
 class TestParser:

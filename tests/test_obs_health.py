@@ -110,6 +110,27 @@ class TestPipelineHealthRates:
         finally:
             restore()
 
+    def test_zero_queries_report_none_not_zero_division(self):
+        registry, restore = _with_registry()
+        try:
+            # A policy with registered counters but zero traffic: the
+            # success rate must read None ("no data"), never divide by
+            # zero or claim 0.0 ("everything failed").
+            registry.counter(
+                "queries_total", labels={"policy": "PLURALITY"}
+            ).inc(0)
+            registry.counter(
+                "queries_answered", labels={"policy": "PLURALITY"}
+            ).inc(0)
+            health = PipelineHealth.from_registry(registry)
+            by_policy = {q.policy: q for q in health.queries}
+            assert by_policy["PLURALITY"].success_rate is None
+            assert health.to_dict()["queries"]["PLURALITY"]["success_rate"] is None
+            text = render_dashboard(registry)
+            assert "success_rate=n/a" in text
+        finally:
+            restore()
+
     def test_end_to_end_packet_level_reconciliation(self):
         """Fabric-delivered and NIC-received must agree after a flush."""
         registry, restore = _with_registry()

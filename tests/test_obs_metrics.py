@@ -194,6 +194,145 @@ class TestExposition:
         assert by_name["h"]["buckets"][-1]["le"] == "+Inf"
 
 
+def _parse_prometheus(text):
+    """Minimal exposition-format parser for the round-trip test.
+
+    Returns (types, helps, samples) where ``types``/``helps`` map family
+    name -> list of occurrences (so the test can assert exactly-once) and
+    ``samples`` maps each sample line's name+labels part -> float value.
+    """
+    types = {}
+    helps = {}
+    samples = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _hash, _kw, family, kind = line.split(" ", 3)
+            types.setdefault(family, []).append(kind)
+        elif line.startswith("# HELP "):
+            _hash, _kw, family, help_text = line.split(" ", 3)
+            helps.setdefault(family, []).append(help_text)
+        else:
+            samples[line.rsplit(" ", 1)[0]] = float(line.rsplit(" ", 1)[1])
+    return types, helps, samples
+
+
+class TestPrometheusRoundTrip:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "frames", labels={"kind": "nic"}, help="frames seen"
+        ).inc(2)
+        registry.counter("frames", labels={"kind": "fabric"}).inc(5)
+        registry.gauge("depth", help="queue depth").set(3)
+        h = registry.histogram("lat", buckets=(0.1, 1.0), help="latency")
+        h.observe(0.05)
+        h.observe(0.5)
+        return registry
+
+    def test_type_and_help_once_per_family(self):
+        text = self._registry().to_prometheus()
+        types, helps, samples = _parse_prometheus(text)
+        # Exactly one TYPE per family even with multiple label sets.
+        assert types == {
+            "repro_frames": ["counter"],
+            "repro_depth": ["gauge"],
+            "repro_lat": ["histogram"],
+        }
+        assert helps == {
+            "repro_frames": ["frames seen"],
+            "repro_depth": ["queue depth"],
+            "repro_lat": ["latency"],
+        }
+        assert samples['repro_frames_total{kind="nic"}'] == 2.0
+        assert samples['repro_frames_total{kind="fabric"}'] == 5.0
+        assert samples["repro_depth"] == 3.0
+        assert samples['repro_lat_bucket{le="+Inf"}'] == 2.0
+
+    def test_comments_precede_all_family_samples(self):
+        text = self._registry().to_prometheus()
+        lines = text.splitlines()
+        first_sample = {}
+        last_comment = {}
+        for index, line in enumerate(lines):
+            if line.startswith("#"):
+                family = line.split(" ", 3)[2]
+                last_comment[family] = index
+            else:
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                for suffix in ("_bucket", "_sum", "_count", "_total"):
+                    if name.endswith(suffix):
+                        name = name[: -len(suffix)]
+                        break
+                first_sample.setdefault(name, index)
+        for family, comment_index in last_comment.items():
+            assert comment_index < first_sample[family], (
+                f"comment for {family} interleaved with its samples"
+            )
+
+    def test_families_without_help_omit_the_help_line(self):
+        registry = MetricsRegistry()
+        registry.counter("bare").inc()
+        text = registry.to_prometheus()
+        assert "# HELP repro_bare" not in text
+        assert "# TYPE repro_bare counter" in text
+
+    def test_help_and_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "odd",
+            labels={"path": 'a"b\\c\nd'},
+            help="line one\nline \\ two",
+        ).inc()
+        text = registry.to_prometheus()
+        assert "# HELP repro_odd line one\\nline \\\\ two" in text
+        assert '{path="a\\"b\\\\c\\nd"}' in text
+        # Escapes keep each sample on a single physical line.
+        assert len([ln for ln in text.splitlines() if "repro_odd" in ln]) == 3
+
+
+class TestDiffRegressions:
+    def test_gauge_decrease_keeps_latest_reading(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        before = registry.snapshot()
+        gauge.set(2)
+        window = registry.snapshot().diff(before)
+        # A gauge delta of -8 would read as nonsense; diff reports the
+        # newer reading instead.
+        assert window.get("depth") == 2
+
+    def test_histogram_diff_buckets_stay_non_negative_and_monotone(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        before = registry.snapshot()
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        window = registry.snapshot().diff(before)
+        counts, total, bounds = window.samples[("lat", ())][1]
+        assert all(count >= 0 for count in counts)
+        assert sum(counts) == 3
+        assert bounds == (0.1, 1.0, 10.0)
+        # Cumulative form (what the exposition emits) must be monotone.
+        running = 0
+        cumulative = []
+        for count in counts:
+            running += count
+            cumulative.append(running)
+        assert cumulative == sorted(cumulative)
+
+    def test_diff_carries_help_texts(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="a counter").inc()
+        before = registry.snapshot()
+        registry.counter("c").inc()
+        window = registry.snapshot().diff(before)
+        assert "# HELP repro_c a counter" in window.to_prometheus()
+
+
 class TestDisabledRegistry:
     def test_disabled_registry_hands_out_null_singletons(self):
         registry = MetricsRegistry(enabled=False)

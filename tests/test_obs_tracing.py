@@ -3,7 +3,7 @@
 from repro import obs
 from repro.fabric.fabric import InlineFabric
 from repro.fabric.impaired import ImpairedFabric
-from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.obs.tracing import EVICTED_TRACE, NULL_TRACER, Tracer
 
 
 class _Port:
@@ -80,11 +80,47 @@ class TestTracerBasics:
         tracer.bind_frame(b"old-frame", first)
         tracer.begin("report")
         tracer.begin("report")  # evicts `first`
-        assert tracer.trace(first) is None
+        assert tracer.trace(first) is EVICTED_TRACE
         assert tracer.trace_for_frame(b"old-frame") is None
         tracer.frame_span(b"old-frame", "late.stage")  # must not raise
         assert tracer.traces_evicted == 1
         assert len(tracer.traces()) == 2
+
+    def test_evicted_marker_is_deterministic_across_wraparound(self):
+        tracer = Tracer(max_traces=2)
+        ids = [tracer.begin("report") for _ in range(50)]
+        # However far the ring wrapped, every issued-but-evicted id maps
+        # to the shared marker -- never a KeyError, never None.
+        for trace_id in ids[:-2]:
+            assert tracer.trace(trace_id) is EVICTED_TRACE
+        for trace_id in ids[-2:]:
+            record = tracer.trace(trace_id)
+            assert record is not EVICTED_TRACE
+            assert record.trace_id == trace_id
+        assert EVICTED_TRACE.kind == "evicted"
+        assert "evicted" in EVICTED_TRACE.render()
+
+    def test_never_issued_ids_stay_none(self):
+        tracer = Tracer(max_traces=2)
+        assert tracer.trace(0) is None
+        assert tracer.trace(1) is None  # not issued yet
+        issued = tracer.begin("report")
+        assert tracer.trace(issued) is not None
+        assert tracer.trace(issued + 1) is None  # beyond the id watermark
+
+    def test_reset_traces_also_return_the_marker(self):
+        tracer = Tracer()
+        first = tracer.begin("report")
+        tracer.reset()
+        assert tracer.trace(first) is EVICTED_TRACE
+
+    def test_spans_on_evicted_traces_are_ignored(self):
+        tracer = Tracer(max_traces=1)
+        first = tracer.begin("report")
+        tracer.begin("report")  # evicts `first`
+        tracer.span(first, "late.stage")  # must not raise or record
+        assert tracer.spans_recorded == 0
+        assert EVICTED_TRACE.spans == []
 
     def test_traces_filter_by_kind(self):
         tracer = Tracer()
