@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-obs-timeseries experiments experiments-full examples lint ci all
+.PHONY: install test bench bench-obs bench-obs-timeseries bench-control experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -19,7 +19,7 @@ lint:
 	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-ci: lint bench-obs bench-obs-timeseries
+ci: lint bench-obs bench-obs-timeseries bench-control
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
@@ -35,6 +35,12 @@ bench-obs:
 # benchmarks/BENCH_obs_timeseries.json).
 bench-obs-timeseries:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_timeseries.py -q
+
+# Fleet-controller gate: a collector crashed under an impaired fabric
+# must fail over within bounded ticks and bounded reports lost (writes
+# benchmarks/BENCH_control.json).
+bench-control:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_control_failover.py -q
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

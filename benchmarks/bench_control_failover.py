@@ -1,0 +1,146 @@
+"""Failover convergence gate: the control loop must heal a dead collector.
+
+``make bench-control`` runs the full chaos scenario -- packet-level
+pipeline, one standby, a collector crashed mid-run, probes and reports
+riding an :class:`~repro.fabric.impaired.ImpairedFabric` with real loss --
+and enforces the bars that make the :mod:`repro.control` subsystem worth
+shipping:
+
+- the failover must happen (exactly one, for the seeded scenario);
+- it must converge within :data:`MAX_CONVERGENCE_TICKS` controller ticks
+  of the first missed probe, and within :data:`MAX_BLACKHOLE_PACKETS`
+  packets of the crash;
+- the blackhole window must lose at most :data:`MAX_REPORTS_LOST` report
+  frames;
+- post-failover queryability must be no worse than the section-4 closed
+  form minus :data:`SUCCESS_MARGIN`.
+
+Results are recorded to ``benchmarks/BENCH_control.json``.
+"""
+
+import json
+import pathlib
+
+from repro import obs
+from repro.core import theory
+from repro.core.config import DartConfig
+from repro.fabric.fabric import InlineFabric
+from repro.fabric.impaired import ImpairedFabric
+from repro.experiments.reporting import print_experiment
+from repro.network.flows import FlowGenerator
+from repro.network.packet_sim import PacketLevelIntNetwork
+from repro.network.simulation import encode_path
+from repro.network.topology import FatTreeTopology
+
+#: Where the chaos-run measurements are recorded.
+ARTIFACT = pathlib.Path(__file__).parent / "BENCH_control.json"
+
+#: Controller ticks from first missed probe to applied plan.
+MAX_CONVERGENCE_TICKS = 4
+
+#: Packets between the crash and the applied plan (the blackhole window).
+MAX_BLACKHOLE_PACKETS = 4 * 25  # four controller intervals
+
+#: Report frames the dead host may blackhole before convergence.
+MAX_REPORTS_LOST = 120
+
+#: Allowed slack under the closed-form queryability prediction.
+SUCCESS_MARGIN = 0.02
+
+#: Per-frame loss probability on the impaired fabric (applies to reports
+#: *and* probes, so the detector must survive lost probes too).
+CHAOS_LOSS = 0.02
+
+
+def failover_chaos_rows(flows: int = 1500, tick_interval: int = 25) -> list:
+    """One seeded chaos run; returns the measured row (single element).
+
+    Probes share the impaired fabric with reports, so the detector sees
+    the same loss the data plane does; ``fail_after=3`` keeps a single
+    lost probe from condemning a healthy host while corroboration (the
+    dead host's rejected frames) still shaves a sweep off real failures.
+    """
+    registry = obs.MetricsRegistry(enabled=True)
+    previous = obs.set_registry(registry)
+    try:
+        tree = FatTreeTopology(k=4)
+        config = DartConfig(
+            slots_per_collector=4096,
+            redundancy=2,
+            num_collectors=4,
+            seed=0,
+        )
+        fabric = ImpairedFabric(InlineFabric(), loss=CHAOS_LOSS, seed=1)
+        net = PacketLevelIntNetwork(
+            tree, config, fabric=fabric, num_standbys=1
+        )
+        controller = net.enable_control(
+            fail_after=3, tick_interval=tick_interval
+        )
+        flow_list = FlowGenerator(
+            tree.num_hosts, host_ip=tree.host_ip, seed=0
+        ).uniform(flows)
+        kill_at = flows // 2
+        converged_at = None
+        for index, flow in enumerate(flow_list):
+            if index == kill_at:
+                net.kill_collector(0)
+            net.send(flow)
+            if converged_at is None and controller.events:
+                converged_at = index
+        answered = checked = 0
+        if converged_at is not None:
+            for flow in flow_list[converged_at + 1:]:
+                path = tree.path(flow.src_host, flow.dst_host, flow.five_tuple)
+                result = net.query_path(flow)
+                checked += 1
+                if result.value == encode_path(path):
+                    answered += 1
+        load = flows * config.redundancy / (
+            config.num_collectors * config.slots_per_collector
+        )
+        events = controller.events
+        return [
+            {
+                "flows": flows,
+                "tick_interval": tick_interval,
+                "loss": CHAOS_LOSS,
+                "failovers": len(events),
+                "convergence_ticks": (
+                    events[0].convergence_ticks if events else None
+                ),
+                "blackhole_packets": (
+                    converged_at - kill_at if converged_at is not None else None
+                ),
+                "reports_lost": int(
+                    registry.total("fabric_frames_rejected")
+                    - registry.total("controller_probes_failed")
+                ),
+                "post_failover_success": (
+                    answered / checked if checked else 0.0
+                ),
+                "theory_success": float(
+                    theory.average_queryability(load, config.redundancy)
+                ),
+            }
+        ]
+    finally:
+        obs.set_registry(previous)
+
+
+def test_failover_converges_under_chaos(run_once, full_scale):
+    """The gate: bounded convergence, bounded loss, restored queryability."""
+    flows = 4000 if full_scale else 1500
+    rows = run_once(failover_chaos_rows, flows=flows)
+    print_experiment("Failover convergence under impaired fabric", rows)
+    row = rows[0]
+    assert row["failovers"] == 1, (
+        f"expected exactly one failover, got {row['failovers']}"
+    )
+    assert row["convergence_ticks"] <= MAX_CONVERGENCE_TICKS
+    assert row["blackhole_packets"] <= MAX_BLACKHOLE_PACKETS
+    assert row["reports_lost"] <= MAX_REPORTS_LOST
+    assert row["post_failover_success"] >= (
+        row["theory_success"] - SUCCESS_MARGIN
+    )
+    ARTIFACT.write_text(json.dumps(rows, indent=2) + "\n")

@@ -13,7 +13,10 @@ Operator-facing entry points over the library:
   ``snapshot`` (one health dashboard / exposition), ``watch`` (per-tick
   dashboard re-renders with sparkline trends), ``alerts`` (the SLO engine
   incl. paper-model conformance rules) and ``profile`` (wall-clock stage
-  profile, optionally exported as a Chrome ``trace_event`` file).
+  profile, optionally exported as a Chrome ``trace_event`` file);
+- ``control`` -- failover demo: run the packet-level pipeline with a
+  standby collector, crash one collector mid-run and watch the fleet
+  controller detect the failure, re-provision every switch and converge.
 """
 
 from __future__ import annotations
@@ -235,6 +238,112 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         obs.set_profiler(previous_profiler)
 
 
+def _cmd_control(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core import theory
+    from repro.core.config import DartConfig
+    from repro.network.flows import FlowGenerator
+    from repro.network.packet_sim import PacketLevelIntNetwork
+    from repro.network.simulation import encode_path
+    from repro.network.topology import FatTreeTopology
+
+    # A fresh registry so the printed controller metrics cover exactly
+    # this run; the previous default is restored before returning.
+    registry = obs.MetricsRegistry(enabled=True)
+    previous_registry = obs.set_registry(registry)
+    try:
+        tree = FatTreeTopology(k=args.k)
+        config = DartConfig(
+            slots_per_collector=args.slots,
+            redundancy=args.redundancy,
+            num_collectors=args.collectors,
+            seed=args.seed,
+        )
+        net = PacketLevelIntNetwork(
+            tree, config, num_standbys=args.standbys
+        )
+        controller = net.enable_control(
+            fail_after=args.fail_after, tick_interval=args.tick_interval
+        )
+        flows = FlowGenerator(
+            tree.num_hosts, host_ip=tree.host_ip, seed=args.seed
+        ).uniform(args.flows)
+        kill_at = args.flows // 2
+        victim = args.victim % config.num_collectors
+        print(
+            f"packet-level run: {args.flows} flows, "
+            f"{config.num_collectors} collectors + {args.standbys} standby, "
+            f"killing node {victim} after {kill_at} packets"
+        )
+        printed = 0
+        converged_at = None
+        for index, flow in enumerate(flows):
+            if index == kill_at:
+                net.kill_collector(victim)
+                print(f"[packet {index}] node {victim} crashed (silently)")
+            net.send(flow)
+            while printed < len(controller.events):
+                print(f"[packet {index}] {controller.events[printed].describe()}")
+                printed += 1
+                if converged_at is None:
+                    converged_at = index
+        if not controller.events:
+            print("no failover occurred (victim never confirmed dead)")
+            return 1
+        # Queryability for flows traced entirely after convergence.
+        answered = 0
+        checked = 0
+        for flow in flows[converged_at + 1:]:
+            path = tree.path(flow.src_host, flow.dst_host, flow.five_tuple)
+            result = net.query_path(flow)
+            checked += 1
+            if result.value is not None and result.value == encode_path(path):
+                answered += 1
+        load = (
+            args.flows * config.redundancy
+            / (config.num_collectors * config.slots_per_collector)
+        )
+        print()
+        print(
+            format_table(
+                [
+                    {
+                        "packets": net.packets_sent,
+                        "failovers": int(
+                            registry.total("controller_failovers_total")
+                        ),
+                        "post_failover_queries": checked,
+                        "post_failover_answered": answered,
+                        "success_rate": answered / max(1, checked),
+                        "theory_success": float(
+                            theory.average_queryability(
+                                load, config.redundancy
+                            )
+                        ),
+                    }
+                ]
+            )
+        )
+        print()
+        print("== membership ==")
+        for member in controller.membership.members:
+            role = "-" if member.role is None else str(member.role)
+            print(
+                f"node {member.node_id}: {member.state.value:<8} role={role}"
+            )
+        print()
+        print("== controller metrics ==")
+        for name in (
+            "controller_failovers_total",
+            "controller_probes_sent",
+            "controller_probes_failed",
+        ):
+            print(f"{name:<32} {registry.total(name):g}")
+        return 0
+    finally:
+        obs.set_registry(previous_registry)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -322,6 +431,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one JSON line per scrape for cross-run trend diffing",
     )
     obs_p.set_defaults(func=_cmd_obs)
+
+    control_p = sub.add_parser(
+        "control",
+        help="failover demo: kill a collector mid-run, watch the fleet "
+             "controller detect it and converge",
+    )
+    control_p.add_argument("--k", type=int, default=4, help="fat-tree k")
+    control_p.add_argument("--flows", type=int, default=2000)
+    control_p.add_argument("--slots", type=int, default=4096)
+    control_p.add_argument("--redundancy", type=int, default=2)
+    control_p.add_argument("--collectors", type=int, default=4)
+    control_p.add_argument("--standbys", type=int, default=1)
+    control_p.add_argument(
+        "--victim", type=int, default=0,
+        help="node ID of the collector to crash",
+    )
+    control_p.add_argument(
+        "--fail-after", type=int, default=2,
+        help="consecutive missed probes confirming death",
+    )
+    control_p.add_argument(
+        "--tick-interval", type=int, default=50,
+        help="packets between controller reconciliation ticks",
+    )
+    control_p.add_argument("--seed", type=int, default=0)
+    control_p.set_defaults(func=_cmd_control)
     return parser
 
 

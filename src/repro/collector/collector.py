@@ -14,7 +14,7 @@ and exposes the endpoint table the control plane loads into switches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import DartConfig
 from repro.fabric.fabric import Fabric
@@ -55,7 +55,18 @@ class CollectorEndpoint:
 
 
 class Collector:
-    """One collector host: registered region + RNIC + responder QP."""
+    """One collector host: registered region + RNIC + responder QP.
+
+    ``collector_id`` is the host's *node* identity (its addresses and rkey
+    derive from it).  Which keyspace role -- hash slot in
+    ``[0, num_collectors)`` -- the host currently serves is fleet state
+    kept by :class:`CollectorCluster`; for the initial active fleet the two
+    coincide, while standby hosts carry node IDs beyond the keyspace.
+
+    ``standby=True`` builds a warm spare: the host is fully provisioned
+    (region, NIC, QPs) but owns no keyspace role until a failover or drain
+    promotes it, so its node ID may lie outside ``[0, num_collectors)``.
+    """
 
     def __init__(
         self,
@@ -64,13 +75,22 @@ class Collector:
         *,
         base_address: int = DEFAULT_BASE_ADDRESS,
         psn_policy: PsnPolicy = PsnPolicy.RESYNC_ON_GAP,
+        standby: bool = False,
     ) -> None:
-        if not 0 <= collector_id < config.num_collectors:
+        if standby:
+            if collector_id < 0:
+                raise ValueError(
+                    f"standby collector_id must be non-negative, got {collector_id}"
+                )
+        elif not 0 <= collector_id < config.num_collectors:
             raise ValueError(
                 f"collector_id {collector_id} outside [0, {config.num_collectors})"
             )
         self.config = config
         self.collector_id = collector_id
+        #: Host liveness: a dead collector's NIC neither executes nor
+        #: responds (see :meth:`fail` / :meth:`recover`).
+        self.alive = True
         self._psn_policy = psn_policy
         self._codec = config.slot_codec()
         self.region = MemoryRegion(
@@ -126,6 +146,29 @@ class Collector:
         )
 
     # ------------------------------------------------------------------
+    # Failure injection (host-level chaos for the fleet controller)
+    # ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Kill the host: every frame delivered from now on is lost.
+
+        Models a crashed or partitioned collector -- the NIC stops
+        executing and stops responding, which is exactly the silent
+        blackhole the :mod:`repro.control` failure detector exists to
+        catch.  Counters on the NIC do not advance (a dead host counts
+        nothing).
+        """
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the host back up (its DRAM contents are *not* trusted).
+
+        A recovered collector rejoins the fleet as a standby via
+        :meth:`CollectorCluster.readmit`; the epoch it missed stays lost.
+        """
+        self.alive = True
+
+    # ------------------------------------------------------------------
     # Data plane (zero CPU): frames land via the NIC
     # ------------------------------------------------------------------
 
@@ -134,16 +177,30 @@ class Collector:
 
         This is the collector's :class:`~repro.fabric.FabricPort` ingest
         surface; senders reach it through a fabric rather than calling it
-        directly.
+        directly.  Frames offered to a dead host vanish (returns False
+        without touching the NIC).
         """
+        if not self.alive:
+            return False
         return self.nic.receive_frame(frame)
 
     def ingest_many(self, frames: Iterable[bytes]) -> int:
-        """Batched frame delivery (fabric flushes); returns executed count."""
+        """Batched frame delivery (fabric flushes); returns executed count.
+
+        A dead host executes nothing (the batch is lost on the floor).
+        """
+        if not self.alive:
+            return 0
         return self.nic.ingest_many(frames)
 
     def transmit(self) -> List[bytes]:
-        """Drain the NIC's outbound frames (READ responses) for the fabric."""
+        """Drain the NIC's outbound frames (READ responses) for the fabric.
+
+        A dead host transmits nothing -- its queued responses are lost
+        with it.
+        """
+        if not self.alive:
+            return []
         return self.nic.transmit()
 
     # ------------------------------------------------------------------
@@ -209,37 +266,169 @@ class Collector:
 
 
 class CollectorCluster:
-    """The collector fleet for one deployment config."""
+    """The collector fleet for one deployment config.
 
-    def __init__(self, config: DartConfig, **collector_kwargs) -> None:
+    The cluster separates two identities the static design conflated:
+
+    - a **role** is a keyspace slot in ``[0, num_collectors)`` -- what
+      :meth:`~repro.core.addressing.DartAddressing.collector_of` returns
+      and what switches match in their lookup tables;
+    - a **node** is a physical collector host, identified by
+      :attr:`Collector.collector_id`.
+
+    Initially role ``i`` is served by node ``i``.  ``num_standbys`` extra
+    hosts (node IDs ``num_collectors ..``) are provisioned as warm spares;
+    a failover :meth:`promote`\\ s a standby into a dead node's role, and a
+    recovered host is :meth:`readmit`\\ ted as a standby.  All role-keyed
+    accessors (:meth:`read_slot`, :meth:`endpoints`, iteration, indexing)
+    resolve through the *live* role map, so nothing above this layer can
+    hold a stale node reference across a failover.
+    """
+
+    def __init__(
+        self, config: DartConfig, *, num_standbys: int = 0, **collector_kwargs
+    ) -> None:
+        if num_standbys < 0:
+            raise ValueError(f"num_standbys must be >= 0, got {num_standbys}")
         self.config = config
-        self.collectors: List[Collector] = [
+        self._nodes: List[Collector] = [
             Collector(config, collector_id, **collector_kwargs)
             for collector_id in range(config.num_collectors)
         ]
+        for index in range(num_standbys):
+            node_id = config.num_collectors + index
+            self._nodes.append(
+                Collector(config, node_id, standby=True, **collector_kwargs)
+            )
+        #: role -> node id currently serving it (identity at bring-up).
+        self._role_map: List[int] = list(range(config.num_collectors))
+        #: Node IDs available as failover targets, in promotion order.
+        self._standby_ids: List[int] = list(
+            range(config.num_collectors, config.num_collectors + num_standbys)
+        )
+
+    @property
+    def collectors(self) -> List[Collector]:
+        """The serving node of every role, in role order (live view)."""
+        nodes = self._nodes
+        return [nodes[node_id] for node_id in self._role_map]
+
+    @property
+    def standbys(self) -> List[Collector]:
+        """Hosts currently available as failover targets, in order."""
+        return [self._nodes[node_id] for node_id in self._standby_ids]
+
+    @property
+    def all_nodes(self) -> List[Collector]:
+        """Every provisioned host -- serving, standby or failed."""
+        return list(self._nodes)
 
     def __len__(self) -> int:
-        return len(self.collectors)
+        return len(self._role_map)
 
-    def __getitem__(self, collector_id: int) -> Collector:
-        return self.collectors[collector_id]
+    def __getitem__(self, role: int) -> Collector:
+        return self.node_for(role)
 
     def __iter__(self):
         return iter(self.collectors)
 
+    def node(self, node_id: int) -> Collector:
+        """The host with ``node_id`` (regardless of role or liveness)."""
+        if not 0 <= node_id < len(self._nodes):
+            raise KeyError(
+                f"no collector node {node_id}; nodes: 0..{len(self._nodes) - 1}"
+            )
+        return self._nodes[node_id]
+
+    def node_for(self, role: int) -> Collector:
+        """The host currently serving keyspace ``role``."""
+        return self._nodes[self._role_map[role]]
+
+    def role_of(self, node_id: int) -> Optional[int]:
+        """The role ``node_id`` serves, or None (standby / failed host)."""
+        try:
+            return self._role_map.index(node_id)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Membership transitions (driven by the fleet controller)
+    # ------------------------------------------------------------------
+
+    def promote(self, role: int, node_id: int) -> Collector:
+        """Point ``role`` at standby ``node_id``; returns the displaced host.
+
+        The standby leaves the spare pool and starts serving the role's
+        keyspace; the displaced node keeps its memory but serves nothing
+        (a failed host awaiting :meth:`readmit`, or a drained one).
+        """
+        if not 0 <= role < len(self._role_map):
+            raise ValueError(f"role {role} outside [0, {len(self._role_map)})")
+        if node_id not in self._standby_ids:
+            raise ValueError(
+                f"node {node_id} is not an available standby "
+                f"(standbys: {self._standby_ids})"
+            )
+        displaced = self._nodes[self._role_map[role]]
+        self._standby_ids.remove(node_id)
+        self._role_map[role] = node_id
+        return displaced
+
+    def withdraw(self, node_id: int) -> Collector:
+        """Remove a host from the standby pool (e.g. a standby died).
+
+        The inverse of :meth:`readmit`: the host keeps existing but is no
+        longer a failover target.  Returns the withdrawn host.
+        """
+        if node_id not in self._standby_ids:
+            raise ValueError(
+                f"node {node_id} is not in the standby pool "
+                f"(standbys: {self._standby_ids})"
+            )
+        self._standby_ids.remove(node_id)
+        return self._nodes[node_id]
+
+    def readmit(self, node_id: int) -> Collector:
+        """Re-admit a recovered, roleless host to the standby pool.
+
+        Its region is zeroed first -- a rejoining host's DRAM contents are
+        stale by definition (the epoch it missed is lost).
+        """
+        node = self.node(node_id)
+        if not node.alive:
+            raise ValueError(f"node {node_id} has not recovered; call recover()")
+        if node_id in self._role_map:
+            raise ValueError(f"node {node_id} is still serving a role")
+        if node_id in self._standby_ids:
+            raise ValueError(f"node {node_id} is already a standby")
+        node.clear()
+        self._standby_ids.append(node_id)
+        return node
+
     def endpoints(self) -> Dict[int, CollectorEndpoint]:
-        """The full lookup table the control plane pushes to switches."""
-        return {c.collector_id: c.endpoint for c in self.collectors}
+        """The lookup table the control plane pushes to switches.
+
+        Keyed by *role*; each value is the serving node's endpoint, so the
+        same call after a failover yields the standby's addresses under
+        the failed node's role.
+        """
+        return {
+            role: self.node_for(role).endpoint
+            for role in range(len(self._role_map))
+        }
 
     def attach_to(self, fabric: Fabric) -> Fabric:
-        """Register every collector as a fabric endpoint (ID = collector ID).
+        """Register every serving collector as a fabric endpoint (ID = role).
 
         This is the collector half of the fabric bring-up: switches address
-        frames by collector ID, and the fabric routes each ID to that
-        collector's NIC.  Returns the fabric for chaining.
+        frames by role, and the fabric routes each role to the serving
+        collector's NIC.  (Standbys are not attached here; the control
+        layer gives every host a node-addressed probe port, and a failover
+        rebinds the role to the standby's port.)  Returns the fabric for
+        chaining.
         """
-        for collector in self.collectors:
-            fabric.attach(collector.collector_id, collector)
+        for role in range(len(self._role_map)):
+            fabric.attach(role, self.node_for(role))
         return fabric
 
     def write_slots(self, writes) -> int:
@@ -257,13 +446,18 @@ class CollectorCluster:
                 (write.slot_index, write.payload)
             )
         return sum(
-            self.collectors[collector_id].write_slots(items)
-            for collector_id, items in grouped.items()
+            self.node_for(role).write_slots(items)
+            for role, items in grouped.items()
         )
 
     def read_slot(self, collector_id: int, slot_index: int) -> bytes:
-        """Fleet-wide slot reader (plugs into a query client)."""
-        return self.collectors[collector_id].read_slot(slot_index)
+        """Fleet-wide slot reader (plugs into a query client).
+
+        ``collector_id`` here is a keyspace *role* (what the addressing
+        layer computes from a key); the read resolves through the live
+        role map so queries land on whichever node serves the role now.
+        """
+        return self.node_for(collector_id).read_slot(slot_index)
 
     def total_memory_bytes(self) -> int:
         """Sum of all collectors' registered-region sizes."""

@@ -18,13 +18,37 @@ from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.client import DartQueryClient
 from repro.core.config import DartConfig
 from repro.core.policies import QueryResult, ReturnPolicy
 from repro.collector.collector import Collector
 from repro.hashing.hash_family import Key
+
+
+class EpochImageMissingError(KeyError):
+    """A requested epoch snapshot is not in the archive.
+
+    Carries the collector role, the epoch and (for disk-backed archives)
+    the path that was expected, so operators can tell a mis-rotated
+    archive from a query for an epoch that never happened.
+    """
+
+    def __init__(
+        self, epoch: int, collector_id: int, path: Optional[Path] = None
+    ) -> None:
+        self.epoch = epoch
+        self.collector_id = collector_id
+        self.path = path
+        message = f"no archived image for collector {collector_id}, epoch {epoch}"
+        if path is not None:
+            message += f" (expected {path})"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep the message readable.
+        return self.args[0]
 
 
 class EpochArchive:
@@ -60,19 +84,22 @@ class EpochArchive:
             self._in_memory.setdefault(epoch, {})[collector_id] = image
 
     def load(self, epoch: int, collector_id: int) -> bytes:
-        """Fetch an archived snapshot; raises ``KeyError`` if absent."""
+        """Fetch an archived snapshot.
+
+        Raises :class:`EpochImageMissingError` (a ``KeyError`` subclass,
+        so existing handlers keep working) naming the collector, epoch and
+        -- for disk archives -- the path that should have held the image.
+        """
         if self.directory is not None:
             path = self._path(epoch, collector_id)
             if not path.exists():
-                raise KeyError(f"no archive for epoch {epoch}, collector {collector_id}")
+                raise EpochImageMissingError(epoch, collector_id, path)
             with gzip.open(path, "rb") as handle:
                 return handle.read()
         try:
             return self._in_memory[epoch][collector_id]
         except KeyError:
-            raise KeyError(
-                f"no archive for epoch {epoch}, collector {collector_id}"
-            ) from None
+            raise EpochImageMissingError(epoch, collector_id) from None
 
     def epochs(self) -> List[int]:
         """Archived epoch IDs, ascending."""
@@ -117,7 +144,7 @@ class EpochManager:
 
     def __init__(
         self,
-        collectors: List[Collector],
+        collectors: Sequence[Collector],
         archive: EpochArchive,
         reports_per_epoch: int,
     ) -> None:
@@ -142,12 +169,21 @@ class EpochManager:
         return self.rotate()
 
     def rotate(self) -> int:
-        """Archive every collector's region and start a new epoch."""
+        """Archive every collector's region and start a new epoch.
+
+        Images are archived under each collector's *position* in the list
+        (its keyspace role), not its node ID: the archive must stay
+        addressable by the same role the query path hashes to even after a
+        failover has a standby host (node ID outside the keyspace) serving
+        the role.  ``self.collectors`` may be a live view (e.g.
+        :attr:`CollectorCluster.collectors`), in which case each rotation
+        snapshots whichever hosts currently serve the fleet.
+        """
         archived_epoch = self.current_epoch
-        for collector in self.collectors:
+        for role, collector in enumerate(self.collectors):
             self.archive.store(
                 archived_epoch,
-                collector.collector_id,
+                role,
                 collector.region.snapshot(),
             )
             collector.clear()

@@ -1,0 +1,58 @@
+"""repro.control: collector failure detection, failover and re-provisioning.
+
+The control loop DART's data plane cannot provide for itself: because
+switches write collector memory with fire-and-forget RDMA and the
+collector CPU is idle by design, a dead collector silently blackholes its
+share of the keyspace.  This package closes the loop --
+
+- :mod:`~repro.control.membership` tracks which host serves which
+  keyspace role and each host's health state;
+- :mod:`~repro.control.detector` confirms failures with one-sided RDMA
+  READ probes, corroborated by metrics-registry signals;
+- :mod:`~repro.control.plan` computes the immutable switch-table diff a
+  failover needs (keyspace remap, PSN resync, epoch tag);
+- :mod:`~repro.control.controller` reconciles: it applies plans
+  atomically through the switch control plane, rebinds fabric routing,
+  and runs the drain -> rejoin lifecycle.
+"""
+
+from repro.control.controller import FailoverEvent, FleetController
+from repro.control.detector import (
+    PROBE_REPORTER_BASE,
+    FailureDetector,
+    ProbeStation,
+)
+from repro.control.membership import (
+    PROBE_ENDPOINT_BASE,
+    FleetMembership,
+    Member,
+    MemberState,
+    probe_endpoint,
+)
+from repro.control.plan import (
+    NoStandbyAvailableError,
+    ReconfigurationPlan,
+    SwitchUpdate,
+    apply_plan,
+    build_failover_plan,
+    select_standby,
+)
+
+__all__ = [
+    "PROBE_ENDPOINT_BASE",
+    "PROBE_REPORTER_BASE",
+    "FailoverEvent",
+    "FailureDetector",
+    "FleetController",
+    "FleetMembership",
+    "Member",
+    "MemberState",
+    "NoStandbyAvailableError",
+    "ProbeStation",
+    "ReconfigurationPlan",
+    "SwitchUpdate",
+    "apply_plan",
+    "build_failover_plan",
+    "probe_endpoint",
+    "select_standby",
+]

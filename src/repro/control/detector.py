@@ -1,0 +1,242 @@
+"""Failure detection: RDMA READ probes corroborated by registry signals.
+
+A dead collector is invisible to the data plane by design -- switches
+fire-and-forget RDMA WRITEs, so nothing upstream notices the blackhole.
+The detector therefore asks the question the data plane cannot: each
+sweep, a :class:`ProbeStation` issues a one-sided RDMA READ of slot 0 to
+every host's NIC over the same fabric reports traverse (a probe exercises
+the NIC, the QP and the registered region end to end -- exactly the
+machinery reports need).  A host that fails enough consecutive probes is
+confirmed dead.
+
+Probes alone can be slow under loss, so :class:`FailureDetector` also
+reads cluster-level signals from the metrics registry -- SLO rules in the
+firing state (``alerts_firing``) and growth in endpoint-rejected frames
+(``fabric_frames_rejected``, which a dead host's port inflates) -- and
+counts corroboration as one extra missed probe, shaving a sweep off
+detection when the observability layer already sees trouble.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.control.membership import (
+    FleetMembership,
+    Member,
+    MemberState,
+    probe_endpoint,
+)
+from repro.fabric.fabric import Fabric
+from repro.rdma.packets import (
+    Bth,
+    EthernetHeader,
+    Ipv4Header,
+    Opcode,
+    PacketDecodeError,
+    Reth,
+    RoceV2Packet,
+    UdpHeader,
+)
+from repro.rdma.qp import PSN_MODULUS
+
+#: Reporter-ID namespace for probe stations, disjoint from switch IDs
+#: (small integers) and operator stations (``0x8000 + id``), so probe QPs
+#: never collide with reporting or query QPs on a collector NIC.
+PROBE_REPORTER_BASE = 0xA000
+
+
+class ProbeStation:
+    """Issues liveness probes as one-sided RDMA READs of slot 0.
+
+    Each host gets a dedicated probe responder QP at construction (PSNs
+    are per-QP in RoCEv2, so probe traffic cannot disturb report or query
+    sequencing).  Probes address hosts by *node* through the probe port
+    address space, so standbys and displaced hosts are probeable even
+    though no keyspace role routes to them.
+    """
+
+    def __init__(
+        self,
+        membership: FleetMembership,
+        fabric: Fabric,
+        station_id: int = 0,
+    ) -> None:
+        if station_id < 0:
+            raise ValueError("station_id must be non-negative")
+        self.membership = membership
+        self.fabric = fabric
+        self.station_id = station_id
+        cluster = membership.cluster
+        self.config = cluster.config
+        self.mac = f"02:9b:{(station_id >> 8) & 0xFF:02x}:{station_id & 0xFF:02x}:00:01"
+        self.ip = f"192.168.{128 | ((station_id >> 8) & 0x7F)}.{station_id & 0xFF}"
+        membership.attach_probes(fabric)
+        self._qps: Dict[int, int] = {}  # node -> our QP number there
+        self._psns: Dict[int, int] = {}  # node -> next request PSN
+        for node in cluster.all_nodes:
+            qp = node.create_reporter_qp(PROBE_REPORTER_BASE + station_id)
+            self._qps[node.collector_id] = qp.qp_number
+            self._psns[node.collector_id] = qp.expected_psn
+        registry = obs.get_registry()
+        labels = registry.instance_labels("ProbeStation")
+        #: Probe READs issued.
+        self.c_sent = registry.counter("controller_probes_sent", labels=labels)
+        #: Probes with no (or an invalid) response.
+        self.c_failed = registry.counter(
+            "controller_probes_failed", labels=labels
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbeStation(id={self.station_id}, "
+            f"nodes={len(self._qps)})"
+        )
+
+    @property
+    def probes_sent(self) -> int:
+        """Probe READs issued (registry-backed)."""
+        return self.c_sent.value
+
+    @property
+    def probes_failed(self) -> int:
+        """Probes with no or an invalid response (registry-backed)."""
+        return self.c_failed.value
+
+    def probe(self, node_id: int) -> bool:
+        """One liveness READ round trip to host ``node_id``.
+
+        True iff the host's NIC executed the READ and returned a valid
+        response for our PSN.  A dead host loses the request outright; a
+        live one that lost earlier probes resyncs via the QP's
+        ``RESYNC_ON_GAP`` policy, so recovery is observed without any
+        probe-side bookkeeping.
+        """
+        node = self.membership.node(node_id)
+        endpoint_id = probe_endpoint(node_id)
+        psn = self._psns[node_id]
+        self._psns[node_id] = (psn + 1) % PSN_MODULUS
+        request = RoceV2Packet(
+            eth=EthernetHeader(dst_mac=node.nic.mac, src_mac=self.mac),
+            ipv4=Ipv4Header(src_ip=self.ip, dst_ip=node.nic.ip),
+            udp=UdpHeader(src_port=0xD100),
+            bth=Bth(
+                opcode=int(Opcode.RC_RDMA_READ_REQUEST),
+                dest_qp=self._qps[node_id],
+                psn=psn,
+            ),
+            reth=Reth(
+                virtual_address=node.region.base_address,
+                rkey=node.region.rkey,
+                dma_length=self.config.slot_bytes,
+            ),
+        )
+        self.c_sent.inc()
+        if self.fabric.send(endpoint_id, request.pack()) is False:
+            self.c_failed.inc()
+            return False
+        responses = self.fabric.poll(endpoint_id)
+        if not responses:
+            self.c_failed.inc()
+            return False
+        try:
+            response = RoceV2Packet.unpack(responses[-1])
+        except PacketDecodeError:
+            self.c_failed.inc()
+            return False
+        if response.bth.opcode != Opcode.RC_RDMA_READ_RESPONSE_ONLY:
+            self.c_failed.inc()
+            return False
+        if response.bth.psn != psn:
+            self.c_failed.inc()
+            return False
+        return True
+
+
+class FailureDetector:
+    """Turns probe results + registry corroboration into failure verdicts.
+
+    Parameters
+    ----------
+    probes:
+        The probe station doing the asking.
+    membership:
+        The host table whose records accumulate miss streaks.
+    fail_after:
+        Consecutive missed probes that confirm a host dead.  With
+        corroboration (a firing SLO alert or endpoint-rejection growth),
+        the effective threshold drops by one -- the registry already
+        vouches that something is wrong, so the detector need not wait
+        for the full streak.
+    """
+
+    def __init__(
+        self,
+        probes: ProbeStation,
+        membership: FleetMembership,
+        *,
+        fail_after: int = 2,
+    ) -> None:
+        if fail_after < 1:
+            raise ValueError(f"fail_after must be >= 1, got {fail_after}")
+        self.probes = probes
+        self.membership = membership
+        self.fail_after = fail_after
+        self._registry = obs.get_registry()
+        self._last_rejected: Optional[float] = None
+        self.sweeps = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureDetector(fail_after={self.fail_after}, "
+            f"sweeps={self.sweeps})"
+        )
+
+    def corroboration(self) -> bool:
+        """Whether registry signals independently suggest a sick fleet.
+
+        True when any SLO alert is firing (``alerts_firing`` > 0) or when
+        endpoint-rejected frames (``fabric_frames_rejected``) grew since
+        the previous sweep -- a dead host's port rejects every frame, so
+        growth there is the data plane's own evidence of a blackhole.
+        """
+        if self._registry.total("alerts_firing") > 0:
+            return True
+        rejected = self._registry.total("fabric_frames_rejected")
+        previous, self._last_rejected = self._last_rejected, rejected
+        return previous is not None and rejected > previous
+
+    def effective_threshold(self, corroborated: bool) -> int:
+        """The miss streak that confirms failure this sweep (>= 1)."""
+        if corroborated and self.fail_after > 1:
+            return self.fail_after - 1
+        return self.fail_after
+
+    def sweep(self, tick: int) -> List[Member]:
+        """Probe every non-failed host once; returns newly failed members.
+
+        Updates each member's miss streak and ACTIVE/SUSPECT state.
+        DRAINED hosts are still probed (they should stay alive to be
+        readmitted) but never "fail" -- they hold no role, so there is
+        nothing to fail over.
+        """
+        self.sweeps += 1
+        corroborated = self.corroboration()
+        threshold = self.effective_threshold(corroborated)
+        newly_failed: List[Member] = []
+        for member in self.membership.members:
+            if member.state is MemberState.FAILED:
+                continue
+            ok = self.probes.probe(member.node_id)
+            member.note_probe(ok, tick)
+            if ok:
+                self.membership.mark_alive(member.node_id)
+                continue
+            if member.missed_probes >= threshold:
+                if member.state is not MemberState.DRAINED:
+                    self.membership.mark_failed(member.node_id)
+                    newly_failed.append(member)
+            else:
+                self.membership.mark_suspect(member.node_id)
+        return newly_failed

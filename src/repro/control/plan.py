@@ -1,0 +1,174 @@
+"""Reconfiguration plans: the computed diff a failover applies to switches.
+
+Separating *planning* from *execution* keeps the failover auditable: the
+detector's verdict produces an immutable :class:`ReconfigurationPlan`
+naming the role, the dead host, the chosen standby and the exact row each
+switch will get (endpoint parameters + the initial PSN resynced from the
+standby's per-switch responder QP + the new epoch tag).  :func:`apply_plan`
+then executes it atomically across the fleet: if any switch update raises,
+every switch already updated is rolled back to its snapshotted previous
+row, so the fleet never runs a mix of epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collector.collector import Collector, CollectorCluster, CollectorEndpoint
+from repro.control.membership import FleetMembership, MemberState
+from repro.switch.control_plane import SwitchControlPlane
+from repro.switch.dart_switch import DartSwitch
+
+
+class NoStandbyAvailableError(RuntimeError):
+    """A failover was needed but the spare pool is empty.
+
+    The fleet keeps running degraded -- the failed role blackholes until
+    an operator adds capacity -- which is precisely the alert-worthy
+    condition, so the error message names the role left unserved.
+    """
+
+    def __init__(self, role: int, failed_node_id: int) -> None:
+        self.role = role
+        self.failed_node_id = failed_node_id
+        super().__init__(
+            f"no standby available to take over role {role} from failed "
+            f"node {failed_node_id}; the role is unserved until capacity "
+            f"is added"
+        )
+
+
+@dataclass(frozen=True)
+class SwitchUpdate:
+    """One switch's row rewrite: re-point ``role`` at ``endpoint``."""
+
+    switch_id: int
+    role: int
+    endpoint: CollectorEndpoint
+    #: PSN register seed: the standby's per-switch responder QP's expected
+    #: PSN, so the first post-failover report is in sequence.
+    initial_psn: int
+    #: The table version this update belongs to.
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ReconfigurationPlan:
+    """The full, immutable diff one failover applies to the fleet."""
+
+    epoch: int
+    role: int
+    failed_node_id: int
+    target_node_id: int
+    updates: Tuple[SwitchUpdate, ...]
+
+    def describe(self) -> str:
+        """One-line operator rendering of the plan."""
+        return (
+            f"plan[epoch {self.epoch}]: role {self.role} "
+            f"node {self.failed_node_id} -> node {self.target_node_id} "
+            f"({len(self.updates)} switch updates)"
+        )
+
+
+def select_standby(
+    cluster: CollectorCluster, membership: Optional[FleetMembership] = None
+) -> Optional[Collector]:
+    """The first healthy spare, honouring the pool's promotion order.
+
+    With a membership table, hosts the detector currently distrusts
+    (anything not in the STANDBY state) are skipped -- promoting a suspect
+    spare would just schedule the next failover.
+    """
+    for node in cluster.standbys:
+        if membership is not None:
+            member = membership.member(node.collector_id)
+            if member.state is not MemberState.STANDBY:
+                continue
+        return node
+    return None
+
+
+def build_failover_plan(
+    role: int,
+    cluster: CollectorCluster,
+    switches: Sequence[DartSwitch],
+    epoch: int,
+    membership: Optional[FleetMembership] = None,
+) -> ReconfigurationPlan:
+    """Compute the diff that moves ``role`` onto a healthy standby.
+
+    For every switch the standby gets (idempotently) a dedicated responder
+    QP -- RoCEv2 PSNs sequence per QP, so each switch's PSN register must
+    seed from *its own* QP's expected PSN, not a shared value.  Raises
+    :class:`NoStandbyAvailableError` when the spare pool has no healthy
+    host.
+    """
+    if not 0 <= role < len(cluster):
+        raise ValueError(f"role {role} outside [0, {len(cluster)})")
+    failed_node = cluster.node_for(role)
+    target = select_standby(cluster, membership)
+    if target is None:
+        raise NoStandbyAvailableError(role, failed_node.collector_id)
+    updates: List[SwitchUpdate] = []
+    for switch in switches:
+        qp = target.create_reporter_qp(switch.switch_id)
+        updates.append(
+            SwitchUpdate(
+                switch_id=switch.switch_id,
+                role=role,
+                endpoint=replace(target.endpoint, qp_number=qp.qp_number),
+                initial_psn=qp.expected_psn,
+                epoch=epoch,
+            )
+        )
+    return ReconfigurationPlan(
+        epoch=epoch,
+        role=role,
+        failed_node_id=failed_node.collector_id,
+        target_node_id=target.collector_id,
+        updates=tuple(updates),
+    )
+
+
+def apply_plan(
+    plan: ReconfigurationPlan,
+    control_plane: SwitchControlPlane,
+    switches: Sequence[DartSwitch],
+) -> int:
+    """Execute a plan on every switch, atomically; returns switches updated.
+
+    Each update snapshots the switch's previous row before rewriting it.
+    If any update raises, all switches already rewritten are restored to
+    their snapshots and the original exception propagates: either the
+    whole fleet moves to ``plan.epoch`` or none of it does.
+    """
+    by_id: Dict[int, DartSwitch] = {s.switch_id: s for s in switches}
+    applied: List[Tuple[DartSwitch, Optional[dict]]] = []
+    try:
+        for update in plan.updates:
+            switch = by_id[update.switch_id]
+            previous = control_plane.apply_update(
+                switch,
+                update.role,
+                update.endpoint,
+                initial_psn=update.initial_psn,
+                epoch=update.epoch,
+            )
+            applied.append((switch, previous))
+    except Exception:
+        for switch, previous in reversed(applied):
+            switch.collector_table.remove_entry((plan.role,))
+            if previous is not None:
+                rollback = dict(previous)
+                initial_psn = rollback.pop("initial_psn", 0)
+                epoch = rollback.pop("epoch", 0)
+                switch.install_collector(
+                    collector_id=plan.role,
+                    initial_psn=initial_psn,
+                    epoch=epoch,
+                    **rollback,
+                )
+        raise
+    return len(applied)

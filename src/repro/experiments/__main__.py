@@ -70,7 +70,10 @@ def main(argv=None) -> int:
     print_experiment("Ablation: copy placement", ablations.placement_rows())
 
     from repro.core.coding import coding_comparison_rows
-    from repro.experiments.resilience import resilience_rows
+    from repro.experiments.resilience import (
+        failover_convergence_rows,
+        resilience_rows,
+    )
     from repro.network.capacity import collector_capacity_rows, storm_comparison_rows
     from repro.network.postcard_sim import mode_comparison_rows
 
@@ -81,6 +84,9 @@ def main(argv=None) -> int:
     print_experiment("Capacity: telemetry storm", storm_comparison_rows())
     print_experiment(
         "Resilience: placement vs collector failures", resilience_rows()
+    )
+    print_experiment(
+        "Resilience: live failover convergence", failover_convergence_rows()
     )
     print_experiment(
         "Table 1 trade: in-band vs postcards", mode_comparison_rows()

@@ -195,6 +195,34 @@ class Fabric:
             raise ValueError(f"endpoint {endpoint_id} already attached")
         self._ports[endpoint_id] = port
 
+    def detach(self, endpoint_id: int) -> FabricPort:
+        """Remove and return the port at ``endpoint_id`` (KeyError if absent).
+
+        Frames already queued toward the endpoint are *not* discarded;
+        they deliver to whatever port is bound when the queue drains
+        (in-flight frames outlive control-plane changes, as on real wire).
+        """
+        try:
+            return self._ports.pop(endpoint_id)
+        except KeyError:
+            raise KeyError(
+                f"no fabric endpoint {endpoint_id} to detach; attached: "
+                f"{sorted(self._ports)}"
+            ) from None
+
+    def rebind(self, endpoint_id: int, port: FabricPort) -> Optional[FabricPort]:
+        """Bind ``endpoint_id`` to ``port``, replacing any existing binding.
+
+        This is the failover primitive: the fleet controller repoints a
+        keyspace role at a standby collector's port after re-provisioning
+        the switches.  Returns the previously bound port (None if the ID
+        was unbound).  Unlike :meth:`attach` it never raises on an
+        existing binding.
+        """
+        previous = self._ports.get(endpoint_id)
+        self._ports[endpoint_id] = port
+        return previous
+
     def port(self, endpoint_id: int) -> FabricPort:
         """The port attached at ``endpoint_id`` (KeyError if absent)."""
         try:

@@ -87,6 +87,14 @@ class ImpairedFabric(Fabric):
         """Register an endpoint on the inner fabric."""
         self.inner.attach(endpoint_id, port)
 
+    def detach(self, endpoint_id: int) -> FabricPort:
+        """Remove an endpoint binding on the inner fabric."""
+        return self.inner.detach(endpoint_id)
+
+    def rebind(self, endpoint_id: int, port: FabricPort) -> Optional[FabricPort]:
+        """Repoint an endpoint ID at a new port on the inner fabric."""
+        return self.inner.rebind(endpoint_id, port)
+
     def port(self, endpoint_id: int) -> FabricPort:
         """Look up an endpoint on the inner fabric."""
         return self.inner.port(endpoint_id)

@@ -97,15 +97,17 @@ class PacketLevelIntNetwork:
         max_int_hops: int = 8,
         fabric: Optional[Fabric] = None,
         scraper=None,
+        num_standbys: int = 0,
     ) -> None:
         self.topology = topology
         self.config = config
         self.max_int_hops = max_int_hops
-        self.cluster = CollectorCluster(config)
+        self.cluster = CollectorCluster(config, num_standbys=num_standbys)
         self.fabric = fabric if fabric is not None else InlineFabric()
         self.cluster.attach_to(self.fabric)
         self.client = DartQueryClient(config, reader=self.cluster.read_slot)
-        plane = SwitchControlPlane(config)
+        self.plane = SwitchControlPlane(config)
+        plane = self.plane
 
         self.transits: Dict[int, IntTransitSwitch] = {}
         self.sinks: Dict[int, IntSinkSwitch] = {}
@@ -117,7 +119,40 @@ class PacketLevelIntNetwork:
         #: Optional MetricsScraper driven by the packet count (one logical
         #: tick per :meth:`send`), keeping series cadence deterministic.
         self.scraper = scraper
+        #: Optional FleetController, ticked on the same logical clock
+        #: (see :meth:`enable_control`).
+        self.controller = None
         self.packets_sent = 0
+
+    def enable_control(self, *, fail_after: int = 2, tick_interval: int = 50):
+        """Attach a fleet controller, ticked on the packet clock.
+
+        Every :meth:`send` advances the logical clock the controller's
+        :meth:`~repro.control.controller.FleetController.maybe_tick`
+        watches, so failure detection and failover run *inside* the
+        simulation timeline -- convergence is measured in packets, not
+        wall-clock.  Returns the controller for direct driving in tests.
+        """
+        from repro.control.controller import FleetController
+
+        self.controller = FleetController(
+            self.cluster,
+            self.plane,
+            self.fabric,
+            fail_after=fail_after,
+            tick_interval=tick_interval,
+        )
+        return self.controller
+
+    def kill_collector(self, node_id: int) -> None:
+        """Chaos hook: crash one collector host mid-run."""
+        self.cluster.node(node_id).fail()
+
+    def recover_collector(self, node_id: int) -> None:
+        """Chaos hook: revive a crashed host and rejoin it as a standby."""
+        self.cluster.node(node_id).recover()
+        if self.controller is not None:
+            self.controller.rejoin(node_id)
 
     def send(self, flow: Flow, user_payload: bytes = b"app-data") -> DeliveryResult:
         """Send one INT-enabled datagram from src to dst host."""
@@ -139,6 +174,8 @@ class PacketLevelIntNetwork:
                 executed += 1
         if self.scraper is not None:
             self.scraper.maybe_scrape(self.packets_sent)
+        if self.controller is not None:
+            self.controller.maybe_tick(self.packets_sent)
         return DeliveryResult(
             delivered_payload=delivered,
             recorded_path=recorded,

@@ -17,7 +17,7 @@ it; the NIC model on the other end validates it byte-for-byte.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.core.addressing import DartAddressing
@@ -135,6 +135,10 @@ class DartSwitch:
             seed=switch_id if rng_seed is None else rng_seed
         )
         self.mirror = MirrorSession(session_id=1, truncate_to=128)
+        #: Epoch tag of each installed lookup entry (role -> epoch).  A
+        #: failover bumps the tag when it re-points the role, so tests and
+        #: the controller can assert every switch runs the current version.
+        self.endpoint_epochs: Dict[int, int] = {}
 
         self.src_mac = (
             f"02:00:{(switch_id >> 24) & 0xFF:02x}:{(switch_id >> 16) & 0xFF:02x}:"
@@ -164,8 +168,15 @@ class DartSwitch:
         rkey: int,
         base_address: int,
         initial_psn: int = 0,
+        epoch: int = 0,
     ) -> None:
-        """Install one collector lookup entry and initialise its PSN."""
+        """Install one collector lookup entry and initialise its PSN.
+
+        ``collector_id`` is the keyspace *role* switches match on (what
+        the addressing layer computes from a key); the endpoint fields
+        describe whichever host currently serves it.  ``epoch`` tags the
+        table version this entry belongs to.
+        """
         self.collector_table.add_entry(
             TableEntry(
                 match=(collector_id,),
@@ -180,6 +191,59 @@ class DartSwitch:
             )
         )
         self.psn_registers.write(collector_id, initial_psn)
+        self.endpoint_epochs[collector_id] = epoch
+
+    def update_collector(
+        self,
+        collector_id: int,
+        mac: str,
+        ip: str,
+        qp_number: int,
+        rkey: int,
+        base_address: int,
+        initial_psn: int = 0,
+        epoch: int = 0,
+    ) -> Optional[Dict[str, Any]]:
+        """Re-point one lookup entry at a new endpoint, live.
+
+        This is the runtime half of the control plane -- a failover rewrites
+        the role's row in place (remove + add, since exact-match installs
+        reject duplicates) and resyncs the PSN register to the new host's
+        expected PSN.  Returns the previous entry's parameters (plus its
+        ``initial_psn`` and ``epoch``) so a partially applied plan can be
+        rolled back, or None if the role had no entry.
+        """
+        previous: Optional[Dict[str, Any]] = None
+        installed = self.collector_table.entry((collector_id,))
+        if installed is not None:
+            previous = dict(installed.params)
+            previous["initial_psn"] = self.psn_registers.read(collector_id)
+            previous["epoch"] = self.endpoint_epochs.get(collector_id, 0)
+            self.collector_table.remove_entry((collector_id,))
+        self.install_collector(
+            collector_id=collector_id,
+            mac=mac,
+            ip=ip,
+            qp_number=qp_number,
+            rkey=rkey,
+            base_address=base_address,
+            initial_psn=initial_psn,
+            epoch=epoch,
+        )
+        return previous
+
+    def collector_endpoint(self, collector_id: int) -> Optional[Dict[str, Any]]:
+        """The endpoint parameters currently installed for a role.
+
+        Reads through the live table (the same lookup the data plane
+        performs), so the answer always reflects the latest re-install --
+        there is no cached copy a failover could leave stale.  Returns
+        None when the role has no entry.
+        """
+        installed = self.collector_table.entry((collector_id,))
+        if installed is None:
+            return None
+        return dict(installed.params)
 
     def bind_fabric(self, fabric: Fabric) -> "DartSwitch":
         """Connect this switch's egress to a telemetry fabric.

@@ -131,6 +131,19 @@ class MatchActionTable:
             self._exact_index[entry.match] = entry
         self._entries.append(entry)
 
+    def entry(self, match: Tuple[Any, ...]) -> Optional[TableEntry]:
+        """The installed entry with this match spec, without counting.
+
+        Control-plane reads (rollback snapshots, audits) use this so the
+        hit/miss counters keep reflecting data-plane lookups only.
+        """
+        if self.is_pure_exact:
+            return self._exact_index.get(match)
+        for installed in self._entries:
+            if installed.match == match:
+                return installed
+        return None
+
     def remove_entry(self, match: Tuple[Any, ...]) -> bool:
         """Remove the entry with the given match spec; returns success."""
         for index, entry in enumerate(self._entries):

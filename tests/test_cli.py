@@ -214,3 +214,48 @@ class TestParser:
         ):
             args = parser.parse_args([command])
             assert callable(args.func)
+
+
+class TestControl:
+    def test_failover_demo(self, capsys):
+        code = main(
+            [
+                "control",
+                "--flows",
+                "400",
+                "--slots",
+                "1024",
+                "--collectors",
+                "2",
+                "--tick-interval",
+                "25",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crashed (silently)" in out
+        assert "failed over" in out
+        assert "success_rate" in out
+        assert "theory_success" in out
+        assert "== membership ==" in out
+        assert "controller_failovers_total" in out
+
+    def test_no_failover_is_an_error(self, capsys):
+        # Interval longer than the run: the detector never gets to sweep
+        # twice after the crash, so the command reports failure.
+        code = main(
+            [
+                "control",
+                "--flows",
+                "60",
+                "--slots",
+                "1024",
+                "--collectors",
+                "2",
+                "--tick-interval",
+                "4000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no failover occurred" in out

@@ -6,7 +6,7 @@ from repro.core.config import DartConfig
 from repro.core.policies import QueryOutcome, ReturnPolicy
 from repro.collector.collector import Collector, CollectorCluster
 from repro.collector.counters import CounterStore
-from repro.collector.epochs import EpochArchive, EpochManager
+from repro.collector.epochs import EpochArchive, EpochImageMissingError, EpochManager
 from repro.collector.store import DartStore
 
 
@@ -247,3 +247,135 @@ class TestEpochs:
         manager = EpochManager([], EpochArchive(config), reports_per_epoch=5)
         with pytest.raises(ValueError):
             manager.note_report(-1)
+
+
+class TestFailureInjection:
+    def test_dead_host_blackholes_everything(self):
+        config = small_config()
+        collector = Collector(config, collector_id=0)
+        collector.fail()
+        assert not collector.alive
+        assert collector.receive_frame(b"\x00" * 64) is False
+        assert collector.ingest_many([b"\x00" * 64, b"\x01" * 64]) == 0
+        assert collector.transmit() == []
+        assert collector.nic.counters.frames_received == 0  # NIC untouched
+
+    def test_recover_restores_the_ingest_path(self):
+        config = small_config()
+        collector = Collector(config, collector_id=0)
+        collector.fail()
+        collector.recover()
+        assert collector.alive
+        # A garbage frame now reaches the NIC (and is rejected *by* it).
+        collector.receive_frame(b"\x00" * 64)
+        assert collector.nic.counters.frames_received == 1
+
+
+class TestClusterRoleMap:
+    def make_cluster(self, num_standbys=1, **kwargs):
+        return CollectorCluster(
+            small_config(**kwargs), num_standbys=num_standbys
+        )
+
+    def test_standby_construction(self):
+        cluster = self.make_cluster(num_standbys=2)
+        assert len(cluster) == 2  # keyspace size, not host count
+        assert [n.collector_id for n in cluster.standbys] == [2, 3]
+        assert [n.collector_id for n in cluster.all_nodes] == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            CollectorCluster(small_config(), num_standbys=-1)
+        # Standby node IDs may exceed the keyspace; negatives may not.
+        Collector(small_config(), collector_id=5, standby=True)
+        with pytest.raises(ValueError):
+            Collector(small_config(), collector_id=-1, standby=True)
+
+    def test_promote_moves_the_role(self):
+        cluster = self.make_cluster()
+        displaced = cluster.promote(0, 2)
+        assert displaced.collector_id == 0
+        assert cluster.node_for(0).collector_id == 2
+        assert cluster.standbys == []
+        assert cluster.role_of(2) == 0
+        assert cluster.role_of(0) is None
+        # Role-keyed accessors all resolve through the live map.
+        assert cluster.collectors[0].collector_id == 2
+        assert cluster[0].collector_id == 2
+        assert cluster.endpoints()[0].ip == cluster.node(2).nic.ip
+
+    def test_promote_validation(self):
+        cluster = self.make_cluster()
+        with pytest.raises(ValueError, match="outside"):
+            cluster.promote(5, 2)
+        with pytest.raises(ValueError, match="not an available standby"):
+            cluster.promote(0, 1)  # node 1 serves a role, it is no spare
+
+    def test_withdraw_removes_a_spare(self):
+        cluster = self.make_cluster()
+        withdrawn = cluster.withdraw(2)
+        assert withdrawn.collector_id == 2
+        assert cluster.standbys == []
+        with pytest.raises(ValueError, match="not in the standby pool"):
+            cluster.withdraw(2)
+
+    def test_readmit_requires_recovered_roleless_host(self):
+        cluster = self.make_cluster()
+        cluster.promote(0, 2)
+        node = cluster.node(0)
+        node.fail()
+        with pytest.raises(ValueError, match="has not recovered"):
+            cluster.readmit(0)
+        node.recover()
+        node.write_slot(0, b"\xaa" * cluster.config.slot_bytes)
+        cluster.readmit(0)
+        # Readmission zeroes the region: the missed epoch is lost.
+        assert node.read_slot(0) == b"\x00" * cluster.config.slot_bytes
+        assert cluster.standbys == [node]
+        with pytest.raises(ValueError, match="already a standby"):
+            cluster.readmit(0)
+        with pytest.raises(ValueError, match="still serving"):
+            cluster.readmit(2)
+
+    def test_node_lookup_errors(self):
+        cluster = self.make_cluster()
+        with pytest.raises(KeyError, match="no collector node 9"):
+            cluster.node(9)
+
+    def test_read_slot_follows_the_role_map(self):
+        cluster = self.make_cluster()
+        marker = b"\x42" * cluster.config.slot_bytes
+        cluster.node(2).write_slot(7, marker)
+        cluster.promote(1, 2)
+        assert cluster.read_slot(1, 7) == marker
+
+
+class TestEpochImageMissingError:
+    def test_disk_archive_error_names_the_path(self, tmp_path):
+        config = small_config(num_collectors=1)
+        archive = EpochArchive(config, directory=tmp_path)
+        with pytest.raises(EpochImageMissingError) as excinfo:
+            archive.load(7, 0)
+        error = excinfo.value
+        assert error.epoch == 7
+        assert error.collector_id == 0
+        assert error.path is not None
+        message = str(error)
+        assert "collector 0" in message
+        assert "epoch 7" in message
+        assert str(error.path) in message
+
+    def test_memory_archive_error_has_no_path(self):
+        archive = EpochArchive(small_config(num_collectors=1))
+        with pytest.raises(EpochImageMissingError) as excinfo:
+            archive.load(3, 1)
+        error = excinfo.value
+        assert error.epoch == 3
+        assert error.collector_id == 1
+        assert error.path is None
+        assert "expected" not in str(error)
+
+    def test_is_a_key_error(self):
+        # Pre-existing handlers catch KeyError; the subclass keeps working.
+        archive = EpochArchive(small_config(num_collectors=1))
+        assert issubclass(EpochImageMissingError, KeyError)
+        with pytest.raises(KeyError):
+            archive.load(0, 0)

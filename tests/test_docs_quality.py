@@ -14,6 +14,7 @@ PACKAGES = [
     "repro",
     "repro.baselines",
     "repro.collector",
+    "repro.control",
     "repro.core",
     "repro.experiments",
     "repro.fabric",

@@ -281,3 +281,105 @@ class TestControlPlane:
             switch, cluster.endpoints(), initial_psns={0: 100}
         )
         assert switch.psn_registers.read(0) == 100
+
+
+class TestRuntimeReconfiguration:
+    def make_plane(self, num_standbys=1, num_switches=2):
+        config = DartConfig(
+            slots_per_collector=1 << 10,
+            num_collectors=2,
+            redundancy=2,
+            value_bytes=8,
+        )
+        cluster = CollectorCluster(config, num_standbys=num_standbys)
+        plane = SwitchControlPlane(config)
+        switches = [DartSwitch(config, switch_id=i) for i in range(num_switches)]
+        plane.connect_fleet(switches, cluster)
+        return config, cluster, plane, switches
+
+    def test_provision_error_lists_every_missing_id(self):
+        config = DartConfig(slots_per_collector=64, num_collectors=4)
+        cluster = CollectorCluster(config)
+        endpoints = cluster.endpoints()
+        del endpoints[1]
+        del endpoints[3]
+        switch = DartSwitch(config, switch_id=0)
+        with pytest.raises(ValueError, match=r"missing collector IDs \[1, 3\]"):
+            SwitchControlPlane(config).provision(switch, endpoints)
+
+    def test_provision_rejects_partially(self):
+        """A rejected provision must not leave half-installed state."""
+        config = DartConfig(slots_per_collector=64, num_collectors=2)
+        cluster = CollectorCluster(config)
+        endpoints = cluster.endpoints()
+        del endpoints[1]
+        switch = DartSwitch(config, switch_id=0)
+        plane = SwitchControlPlane(config)
+        with pytest.raises(ValueError):
+            plane.provision(switch, endpoints)
+        assert len(switch.collector_table) == 0
+        assert plane.switches == []
+
+    def test_switch_registry_in_id_order(self):
+        _, _, plane, switches = self.make_plane(num_switches=3)
+        assert [s.switch_id for s in plane.switches] == [0, 1, 2]
+        assert plane.switches == switches
+
+    def test_apply_update_validates_config(self):
+        config, cluster, plane, _switches = self.make_plane()
+        other = DartSwitch(
+            DartConfig(slots_per_collector=1 << 9, num_collectors=2),
+            switch_id=9,
+        )
+        with pytest.raises(ValueError, match="different DartConfig"):
+            plane.apply_update(other, 0, cluster.node(0).endpoint)
+
+    def test_apply_update_validates_role(self):
+        config, cluster, plane, switches = self.make_plane()
+        with pytest.raises(ValueError, match="role 2 outside"):
+            plane.apply_update(switches[0], 2, cluster.node(0).endpoint)
+        with pytest.raises(ValueError, match="role -1 outside"):
+            plane.apply_update(switches[0], -1, cluster.node(0).endpoint)
+
+    def test_update_collector_returns_previous_row(self):
+        config, cluster, plane, switches = self.make_plane()
+        switch = switches[0]
+        old = dict(switch.collector_endpoint(0))
+        old_psn = switch.psn_registers.read(0)
+        standby = cluster.node(2)
+        previous = plane.apply_update(
+            switch, 0, standby.endpoint, initial_psn=9, epoch=4
+        )
+        assert previous is not None
+        assert previous["mac"] == old["mac"]
+        assert previous["initial_psn"] == old_psn
+        assert previous["epoch"] == 0
+        assert switch.collector_endpoint(0)["mac"] == standby.nic.mac
+        assert switch.psn_registers.read(0) == 9
+        assert switch.endpoint_epochs[0] == 4
+
+    def test_update_collector_on_empty_role_returns_none(self):
+        config = DartConfig(slots_per_collector=64, num_collectors=2)
+        switch = DartSwitch(config, switch_id=0)  # never provisioned
+        endpoint = CollectorCluster(config).node(0).endpoint
+        previous = switch.update_collector(
+            collector_id=0,
+            mac=endpoint.mac,
+            ip=endpoint.ip,
+            qp_number=endpoint.qp_number,
+            rkey=endpoint.rkey,
+            base_address=endpoint.base_address,
+        )
+        assert previous is None
+        assert switch.collector_endpoint(0)["mac"] == endpoint.mac
+
+    def test_collector_endpoint_reads_do_not_count_as_lookups(self):
+        """Control-plane reads must not pollute data-plane table counters."""
+        _, _, plane, switches = self.make_plane()
+        switch = switches[0]
+        hits_before = switch.collector_table.hits
+        misses_before = switch.collector_table.misses
+        assert switch.collector_endpoint(0) is not None
+        assert switch.collector_endpoint(7) is None
+        assert switch.collector_table.hits == hits_before
+        assert switch.collector_table.misses == misses_before
