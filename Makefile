@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-obs-timeseries bench-control experiments experiments-full examples lint ci all
+.PHONY: install test bench bench-obs bench-obs-timeseries bench-control bench-fabric-columnar experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -19,7 +19,7 @@ lint:
 	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-ci: lint bench-obs bench-obs-timeseries bench-control
+ci: lint bench-obs bench-obs-timeseries bench-control bench-fabric-columnar
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
@@ -41,6 +41,13 @@ bench-obs-timeseries:
 # benchmarks/BENCH_control.json).
 bench-control:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_control_failover.py -q
+
+# Columnar datapath gate: whole-batch frames through switch, fabric, NIC
+# and region must hold >= 10x over the per-frame packet path, and the
+# in-process slot-batch row must stay within 5% of its recorded speedup
+# (writes benchmarks/BENCH_fabric.json).
+bench-fabric-columnar:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_fabric_columnar.py -q
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

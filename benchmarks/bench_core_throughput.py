@@ -90,7 +90,7 @@ def _time_best_of(func, repeats=3):
 def fabric_delivery_rows(reports: int = 4_000) -> list:
     """Per-report vs batched delivery, in-process and packet-level.
 
-    Four modes over the identical workload:
+    Five modes over the identical workload:
 
     - ``per_report``       -- ``put`` per report (scalar addressing,
       one key fold per hash-family member);
@@ -99,7 +99,13 @@ def fabric_delivery_rows(reports: int = 4_000) -> list:
     - ``packet_inline``    -- full RoCEv2 path, one ``fabric.send`` per
       frame through an :class:`InlineFabric`;
     - ``packet_buffered``  -- full RoCEv2 path, frames queued in a
-      :class:`BufferedFabric` and drained through the NICs' bulk ingest.
+      :class:`BufferedFabric` and drained through the NICs' bulk ingest;
+    - ``packet_columnar``  -- full RoCEv2 path as one columnar
+      :class:`~repro.rdma.FrameBatch` per ``put_many`` (the batch
+      datapath: vectorised encode, iCRC, validation and region scatter).
+
+    Each row names its ``baseline`` mode; ``speedup`` is relative to that
+    row's baseline within the same run.
     """
     config = DartConfig(slots_per_collector=1 << 16, num_collectors=2)
     items = [(("flow", i), (i % 251).to_bytes(20, "big")) for i in range(reports)]
@@ -124,26 +130,34 @@ def fabric_delivery_rows(reports: int = 4_000) -> list:
             fabric=BufferedFabric(flush_threshold=256),
         ).put_many(items)
 
+    def packet_columnar():
+        DartStore(
+            config,
+            packet_level=True,
+            fabric=InlineFabric(),
+            columnar=True,
+        ).put_many(items)
+
     modes = [
         ("per_report", per_report),
         ("report_batch", report_batch),
         ("packet_inline", packet_inline),
         ("packet_buffered", packet_buffered),
+        ("packet_columnar", packet_columnar),
     ]
     timings = {name: _time_best_of(func) for name, func in modes}
-    baseline = timings["per_report"]
-    packet_baseline = timings["packet_inline"]
     rows = []
     for name, _func in modes:
         seconds = timings[name]
-        reference = packet_baseline if name.startswith("packet") else baseline
+        baseline = "packet_inline" if name.startswith("packet") else "per_report"
         rows.append(
             {
                 "mode": name,
+                "baseline": baseline,
                 "reports": reports,
                 "seconds": round(seconds, 6),
                 "reports_per_sec": round(reports / seconds, 1),
-                "speedup": round(reference / seconds, 3),
+                "speedup": round(timings[baseline] / seconds, 3),
             }
         )
     return rows

@@ -193,6 +193,16 @@ class Collector:
             return 0
         return self.nic.ingest_many(frames)
 
+    def ingest_batch(self, batch) -> int:
+        """Columnar frame delivery (``Fabric.send_batch``); executed count.
+
+        Same liveness gate as the scalar paths: a dead host drops the
+        whole batch without touching NIC counters.
+        """
+        if not self.alive:
+            return 0
+        return self.nic.ingest_batch(batch)
+
     def transmit(self) -> List[bytes]:
         """Drain the NIC's outbound frames (READ responses) for the fabric.
 

@@ -46,6 +46,12 @@ class DartStore:
         Pass a :class:`~repro.fabric.BufferedFabric` for batched delivery
         (remember to :meth:`~repro.fabric.Fabric.flush` before querying) or
         an :class:`~repro.fabric.ImpairedFabric` for loss scenarios.
+    columnar:
+        Use the columnar batch datapath for :meth:`put_many` in
+        packet-level mode: each batch of reports travels the whole
+        switch -> fabric -> NIC -> memory pipeline as one pooled frame
+        matrix instead of per-frame Python objects.  Byte-identical store
+        state, an order of magnitude faster; requires ``packet_level``.
 
     Examples
     --------
@@ -62,11 +68,18 @@ class DartStore:
         policy: ReturnPolicy = ReturnPolicy.PLURALITY,
         packet_level: bool = False,
         fabric: Optional[Fabric] = None,
+        columnar: bool = False,
     ) -> None:
         if fabric is not None and not packet_level:
             raise ValueError(
                 "a fabric only carries RoCEv2 frames; pass packet_level=True"
             )
+        if columnar and not packet_level:
+            raise ValueError(
+                "columnar batching applies to the packet path; "
+                "pass packet_level=True"
+            )
+        self.columnar = columnar
         self.config = config
         self.cluster = CollectorCluster(config)
         self.reporter = DartReporter(config)
@@ -165,11 +178,16 @@ class DartStore:
             started = perf_counter()
         if self._switch is not None:
             switch = self._switch
-            offered = 0
-            count = 0
-            for key, value in items:
-                offered += switch.report_into(key, value)
-                count += 1
+            if self.columnar:
+                items = list(items)
+                offered = switch.report_batch_into(items)
+                count = len(items)
+            else:
+                offered = 0
+                count = 0
+                for key, value in items:
+                    offered += switch.report_into(key, value)
+                    count += 1
             self.c_puts.inc(count)
             self.fabric.flush()
             if timed:

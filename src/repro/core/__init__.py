@@ -23,6 +23,7 @@ independent of any particular wire format or switch model:
 
 from repro.core.config import DartConfig
 from repro.core.addressing import DartAddressing, SlotLocation
+from repro.core.batch import ReportBatch
 from repro.core.policies import QueryOutcome, QueryResult, ReturnPolicy
 from repro.core.reporter import DartReporter, SlotWrite
 from repro.core.client import DartQueryClient
@@ -34,6 +35,7 @@ __all__ = [
     "DartReporter",
     "QueryOutcome",
     "QueryResult",
+    "ReportBatch",
     "ReturnPolicy",
     "SlotLocation",
     "SlotWrite",

@@ -159,3 +159,36 @@ class DartAddressing:
     def checksums_array(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised checksums for integer key identities."""
         return self._checksum.compute_array(keys)
+
+    # ------------------------------------------------------------------
+    # Columnar interface (bit-exact batch resolution)
+    # ------------------------------------------------------------------
+
+    def resolve_folded(
+        self, folded: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resolve a whole batch of pre-folded key lanes at once.
+
+        ``folded`` is a ``uint64`` array of :func:`~repro.hashing.hash_family.fold_key`
+        lanes.  Returns ``(collector_ids, checksums, slot_indexes)`` where
+        ``slot_indexes`` has shape ``(redundancy, n)`` -- row ``n`` holds
+        copy ``n``'s slot index for every key.  Unlike the simulator-only
+        ``*_array`` methods above, every value is bit-identical to the
+        scalar :meth:`resolve` on the original keys (property-tested);
+        this is what lets the columnar datapath keep the wire-format
+        equality contract.
+        """
+        folded = np.asarray(folded, dtype=np.uint64)
+        family = self._family
+        config = self.config
+        collector_ids = family.hash_folded_array(
+            folded, COLLECTOR_FUNCTION_INDEX
+        ) % np.uint64(config.num_collectors)
+        checksums = self._checksum.compute_folded_array(folded)
+        slots = np.empty((config.redundancy, len(folded)), dtype=np.uint64)
+        modulus = np.uint64(config.slots_per_collector)
+        for copy_index in range(config.redundancy):
+            slots[copy_index] = (
+                family.hash_folded_array(folded, copy_index) % modulus
+            )
+        return collector_ids, checksums, slots

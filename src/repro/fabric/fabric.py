@@ -25,6 +25,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
 from repro.obs.metrics import DEPTH_BUCKETS, LATENCY_BUCKETS, SIZE_BUCKETS
+from repro.rdma.frames import FrameBatch
 
 try:  # pragma: no cover - Protocol is typing-only convenience on 3.9+
     from typing import Protocol, runtime_checkable
@@ -268,6 +269,31 @@ class Fabric:
                 executed += 1
         return executed
 
+    def send_batch(self, batch: FrameBatch) -> Optional[int]:
+        """Offer a whole columnar frame batch; takes ownership of ``batch``.
+
+        The batch seam of the columnar datapath: one call moves every
+        frame, and the fabric releases the batch's pooled buffer once it
+        no longer needs the bytes.  Returns the executed count for
+        synchronous transports, or None when any delivery was deferred.
+
+        This default is the reference implementation -- per-frame
+        :meth:`send` in emission order, so any subclass is batch-correct
+        by construction; Inline/Buffered/Impaired override it with
+        vectorised paths whose results are provably identical.
+        """
+        try:
+            executed: Optional[int] = 0
+            for endpoint_id, frame in batch.iter_pairs():
+                result = self.send(endpoint_id, frame)
+                if result is None:
+                    executed = None
+                elif executed is not None and result:
+                    executed += 1
+            return executed
+        finally:
+            batch.release()
+
     def flush(self) -> int:
         """Deliver everything in flight; returns frames delivered now."""
         return 0
@@ -350,6 +376,44 @@ class Fabric:
         counters.c_rejected.inc(len(frames) - executed)
         return executed
 
+    def _deliver_batch(self, endpoint_id: int, batch: FrameBatch) -> int:
+        """Hand a single-endpoint frame batch to its port, counters exact.
+
+        Borrows ``batch`` (the caller keeps ownership).  Ports exposing
+        ``ingest_batch`` get the whole matrix in one call; others receive
+        row bytes in order.  With per-frame tracing enabled the frames are
+        materialised so every span survives.
+        """
+        count = batch.count
+        if count == 0:
+            return 0
+        if self._tracer.enabled:
+            return self._deliver_many(
+                endpoint_id,
+                [batch.frame_bytes(index) for index in range(count)],
+            )
+        port = self.port(endpoint_id)
+        profiler = self._profiler
+        if profiler.enabled:
+            started = profiler.now()
+        ingest_batch = getattr(port, "ingest_batch", None)
+        if ingest_batch is not None:
+            executed = ingest_batch(batch)
+        else:
+            frames = batch.frames
+            receive_frame = port.receive_frame
+            executed = 0
+            for index in range(count):
+                if receive_frame(frames[index].tobytes()):
+                    executed += 1
+        if profiler.enabled:
+            profiler.record("fabric.deliver", started, profiler.now())
+        counters = self.counters
+        counters.c_delivered.inc(count)
+        counters.c_executed.inc(executed)
+        counters.c_rejected.inc(count - executed)
+        return executed
+
 
 class InlineFabric(Fabric):
     """Synchronous direct delivery -- the historical behaviour, as a seam.
@@ -374,6 +438,32 @@ class InlineFabric(Fabric):
             for frame in frames:
                 self._h_frame_bytes.observe(len(frame))
         return self._deliver_many(endpoint_id, frames)
+
+    def send_batch(self, batch: FrameBatch) -> int:
+        """Deliver a columnar batch now, endpoint by endpoint.
+
+        Frames for the same endpoint arrive in emission order (the PSN
+        contract); the common single-collector batch delivers with zero
+        copies.
+        """
+        count = batch.count
+        self.counters.c_offered.inc(count)
+        if self._h_frame_bytes.enabled and count:
+            self._h_frame_bytes.observe_many(batch.width, count)
+        try:
+            endpoint = batch.single_endpoint()
+            if endpoint is not None:
+                return self._deliver_batch(endpoint, batch)
+            executed = 0
+            for endpoint_id, rows in batch.groups():
+                sub = batch.select(rows)
+                try:
+                    executed += self._deliver_batch(endpoint_id, sub)
+                finally:
+                    sub.release()
+            return executed
+        finally:
+            batch.release()
 
 
 class BufferedFabric(Fabric):
@@ -405,7 +495,10 @@ class BufferedFabric(Fabric):
             )
         super().__init__()
         self.flush_threshold = flush_threshold
-        self._queues: Dict[int, Deque[bytes]] = {}
+        # Queue entries are raw frame bytes or columnar FrameBatch handles;
+        # _depths tracks queued *frames* per link (a batch counts its rows).
+        self._queues: Dict[int, Deque[object]] = {}
+        self._depths: Dict[int, int] = {}
         registry = self._registry
         labels = registry.instance_labels("BufferedFabricQueue")
         self._g_depth = registry.gauge(
@@ -451,13 +544,8 @@ class BufferedFabric(Fabric):
         self.port(endpoint_id)  # fail fast on unknown endpoints
         self.counters.c_offered.inc()
         self._observe_offered(frame)
-        queue = self._queues.setdefault(endpoint_id, deque())
-        queue.append(frame)
-        depth = len(queue)
-        self._g_depth_hwm.set_max(depth)
-        if self.flush_threshold is not None and depth >= self.flush_threshold:
-            self.counters.c_flushes.inc()
-            self._flush_endpoint(endpoint_id)
+        self._queues.setdefault(endpoint_id, deque()).append(frame)
+        self._note_enqueued(endpoint_id, 1)
         return None
 
     def send_many(
@@ -476,14 +564,50 @@ class BufferedFabric(Fabric):
             if observe is not None:
                 observe(len(frame))
         self.counters.c_offered.inc(count)
-        self._g_depth_hwm.set_max(len(queue))
-        if (
-            self.flush_threshold is not None
-            and len(queue) >= self.flush_threshold
-        ):
+        self._note_enqueued(endpoint_id, count)
+        return None
+
+    def send_batch(self, batch: FrameBatch) -> Optional[int]:
+        """Queue a columnar batch; frames deliver at the next (auto-)flush.
+
+        The batch stays columnar in the queue -- a retained handle for the
+        single-endpoint case, pooled per-endpoint sub-batches otherwise --
+        so a later flush still reaches the endpoint's columnar ingest.
+        """
+        count = batch.count
+        self.counters.c_offered.inc(count)
+        if self._h_frame_bytes.enabled and count:
+            self._h_frame_bytes.observe_many(batch.width, count)
+        try:
+            if count == 0:
+                return 0
+            endpoint = batch.single_endpoint()
+            if endpoint is not None:
+                self.port(endpoint)  # fail fast before retaining
+                self._queues.setdefault(endpoint, deque()).append(
+                    batch.retain()
+                )
+                self._note_enqueued(endpoint, count)
+                return None
+            groups = list(batch.groups())
+            for endpoint_id, _rows in groups:
+                self.port(endpoint_id)  # fail fast before copying anything
+            for endpoint_id, rows in groups:
+                sub = batch.select(rows)
+                self._queues.setdefault(endpoint_id, deque()).append(sub)
+                self._note_enqueued(endpoint_id, sub.count)
+            return None
+        finally:
+            batch.release()
+
+    def _note_enqueued(self, endpoint_id: int, count: int) -> None:
+        """Account ``count`` newly queued frames; auto-flush on threshold."""
+        depth = self._depths.get(endpoint_id, 0) + count
+        self._depths[endpoint_id] = depth
+        self._g_depth_hwm.set_max(depth)
+        if self.flush_threshold is not None and depth >= self.flush_threshold:
             self.counters.c_flushes.inc()
             self._flush_endpoint(endpoint_id)
-        return None
 
     def flush(self) -> int:
         """Drain every link in attach order; returns frames delivered."""
@@ -495,31 +619,47 @@ class BufferedFabric(Fabric):
 
     def pending(self) -> int:
         """Frames queued across all links."""
-        return sum(len(queue) for queue in self._queues.values())
+        return sum(self._depths.values())
 
     def pending_for(self, endpoint_id: int) -> int:
         """Frames queued toward one endpoint."""
-        queue = self._queues.get(endpoint_id)
-        return len(queue) if queue else 0
+        return self._depths.get(endpoint_id, 0)
 
     def _flush_endpoint(self, endpoint_id: int) -> int:
-        """Drain one link through the endpoint's bulk ingest path.
+        """Drain one link through the endpoint's bulk ingest paths.
 
+        Queued entries are raw frame bytes or columnar batches: runs of
+        consecutive bytes drain through ``_deliver_many`` and each batch
+        through ``_deliver_batch``, all in queue order, so per-link frame
+        order (the PSN contract) is preserved across mixed traffic.
         Reports the drained depth on the ``fabric_queue_depth`` gauge and
         the ``fabric_flush_frames`` histogram before delivering.
         """
         queue = self._queues.get(endpoint_id)
         if not queue:
             return 0
-        frames = list(queue)
+        entries = list(queue)
         queue.clear()
-        depth = len(frames)
+        depth = self._depths.pop(endpoint_id, 0)
         self._g_depth.set(depth)
         timed = self._h_flush_seconds.enabled
         if timed:
             self._h_flush_frames.observe(depth)
             started = perf_counter()
-        self._deliver_many(endpoint_id, frames)
+        run: List[bytes] = []
+        for entry in entries:
+            if isinstance(entry, FrameBatch):
+                if run:
+                    self._deliver_many(endpoint_id, run)
+                    run = []
+                try:
+                    self._deliver_batch(endpoint_id, entry)
+                finally:
+                    entry.release()
+            else:
+                run.append(entry)
+        if run:
+            self._deliver_many(endpoint_id, run)
         if timed:
             self._h_flush_seconds.observe(perf_counter() - started)
         return depth

@@ -17,9 +17,12 @@ divergence between fabric counters and what endpoints saw.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.fabric.fabric import Fabric, FabricCounters, FabricPort
+from repro.rdma.frames import FrameBatch
 
 
 class ImpairedFabric(Fabric):
@@ -174,6 +177,91 @@ class ImpairedFabric(Fabric):
             elif executed is not None and result:
                 executed += 1
         return executed
+
+    def send_batch(self, batch: FrameBatch) -> Optional[int]:
+        """Offer a columnar batch, impairing each frame independently.
+
+        Impairment draws happen per frame in emission order -- the exact
+        RNG sequence of per-frame :meth:`send` on the same frames -- so a
+        seeded scenario impairs identically on both paths.  Surviving rows
+        then reach the inner fabric as columnar runs; held (reordered) and
+        duplicated frames are materialised as bytes, exactly as the scalar
+        path would deliver them, and their delivery results are ignored in
+        the return value just as :meth:`send` ignores them.
+        """
+        if self._tracer.enabled:
+            # Per-frame impairment spans need the scalar path; the base
+            # reference loop draws the identical RNG sequence.
+            return super().send_batch(batch)
+        count = batch.count
+        counters = self.counters
+        counters.c_offered.inc(count)
+        if self._h_frame_bytes.enabled and count:
+            self._h_frame_bytes.observe_many(batch.width, count)
+        try:
+            if count == 0:
+                return 0
+            frames = batch.frames
+            endpoint_ids = batch.endpoint_ids
+            # Plan entries: a row index (primary delivery, kept columnar)
+            # or an (endpoint_id, bytes) side delivery (released hold or
+            # duplicate) whose result the scalar path also discards.
+            plan: List[Union[int, Tuple[int, bytes]]] = []
+            lost = reordered = duplicated = 0
+            for row in range(count):
+                endpoint_id = int(endpoint_ids[row])
+                if self._lost():
+                    lost += 1
+                    continue
+                held = self._held.pop(endpoint_id, None)
+                if held is None and self.reordering > 0.0 and (
+                    self._rng.random() < self.reordering
+                ):
+                    self._held[endpoint_id] = frames[row].tobytes()
+                    reordered += 1
+                    continue
+                plan.append(row)
+                if held is not None:
+                    plan.append((endpoint_id, held))
+                if self.duplication > 0.0 and (
+                    self._rng.random() < self.duplication
+                ):
+                    duplicated += 1
+                    plan.append((endpoint_id, frames[row].tobytes()))
+            if lost:
+                counters.c_dropped_loss.inc(lost)
+            if reordered:
+                counters.c_reordered.inc(reordered)
+            if duplicated:
+                counters.c_duplicated.inc(duplicated)
+            executed: Optional[int] = 0
+            run: List[int] = []
+
+            def flush_run() -> None:
+                nonlocal executed
+                if not run:
+                    return
+                result = self.inner.send_batch(
+                    batch.select(np.asarray(run, dtype=np.int64))
+                )
+                if result is None:
+                    executed = None
+                elif executed is not None:
+                    executed += result
+                del run[:]
+
+            for item in plan:
+                if isinstance(item, tuple):
+                    flush_run()
+                    self.inner.send(*item)
+                else:
+                    run.append(item)
+            flush_run()
+            if reordered:
+                executed = None
+            return executed
+        finally:
+            batch.release()
 
     def flush(self) -> int:
         """Release held frames, then flush the inner fabric."""

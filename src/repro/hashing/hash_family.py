@@ -93,6 +93,20 @@ def _fold_bytes(data: bytes) -> int:
     return splitmix64((acc ^ len(data)) & _U64)
 
 
+def fold_keys(keys: Iterable[Key]) -> np.ndarray:
+    """Fold many keys into a ``uint64`` lane array (one :func:`fold_key` each).
+
+    The per-key fold is irreducibly scalar (arbitrary Python keys, chunked
+    byte mixing), but it is the *only* scalar work the columnar batch path
+    performs; every downstream family hash finishes vectorised via
+    :meth:`HashFamily.hash_folded_array`.
+    """
+    keys = list(keys) if not isinstance(keys, (list, tuple)) else keys
+    return np.fromiter(
+        (fold_key(key) for key in keys), dtype=np.uint64, count=len(keys)
+    )
+
+
 def _splitmix64_np(values: np.ndarray) -> np.ndarray:
     """Vectorised splitmix64 over a ``uint64`` array."""
     with np.errstate(over="ignore"):
@@ -154,6 +168,19 @@ class HashFamily:
         family member.
         """
         return mix64(folded, self._function_seed(index))
+
+    def hash_folded_array(self, folded: np.ndarray, index: int = 0) -> np.ndarray:
+        """Vectorised :meth:`hash_folded` over a ``uint64`` lane array.
+
+        Bit-identical to the scalar method element-wise (unlike
+        :meth:`hash_array`, which hashes integer identities): this is the
+        mixer the columnar batch path uses so that columnar addressing
+        matches scalar addressing exactly.
+        """
+        folded = np.asarray(folded, dtype=np.uint64)
+        seed = np.uint64(splitmix64(self._function_seed(index)))
+        with np.errstate(over="ignore"):
+            return _splitmix64_np(folded ^ seed)
 
     def hash_key_mod(self, key: Key, index: int, modulus: int) -> int:
         """``hash_key`` reduced to ``[0, modulus)``."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro import obs
 
 
@@ -218,6 +220,69 @@ class MemoryRegion:
         self.c_bytes_written.inc(written)
         if overwrites:
             self.c_slot_overwrites.inc(overwrites)
+        return count
+
+    def write_offset_columnar(
+        self, offsets: np.ndarray, payloads: np.ndarray
+    ) -> int:
+        """Columnar batched writes: all payloads share one width.
+
+        ``offsets`` is an integer array and ``payloads`` a matching
+        ``uint8[count, width]`` matrix; row ``i`` lands at ``offsets[i]``.
+        Results (memory image, write/overwrite counters) are identical to
+        calling :meth:`write_offset` per row in order, provided target
+        ranges are pairwise disjoint-or-identical -- true by construction
+        for slot-aligned telemetry writes, which is the only caller.
+        Bounds are validated for the whole batch before any byte lands.
+        Returns the number of writes applied.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        count = len(offsets)
+        if count == 0:
+            return 0
+        width = payloads.shape[1]
+        if ((offsets < 0) | (offsets + width > self.size)).any():
+            bad = int(
+                offsets[
+                    np.argmax((offsets < 0) | (offsets + width > self.size))
+                ]
+            )
+            raise RegionAccessError(
+                f"local write [{bad}, +{width}) outside region "
+                f"of size {self.size}"
+            )
+        buffer = np.frombuffer(self._buffer, dtype=np.uint8)
+        # Group rows by offset, stable, so "previous write to this slot"
+        # is well defined for both overwrite accounting and last-wins.
+        order = np.argsort(offsets, kind="stable")
+        sorted_offsets = offsets[order]
+        is_first = np.empty(count, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = sorted_offsets[1:] != sorted_offsets[:-1]
+        if self._track_overwrites:
+            # First write per slot overwrites iff the slot was live before
+            # the batch; each repeat overwrites iff the preceding write to
+            # the same slot carried non-zero bytes.
+            first_offsets = sorted_offsets[is_first]
+            windows = first_offsets[:, None] + np.arange(width)
+            overwrites = int(buffer[windows].any(axis=1).sum())
+            repeat_positions = np.flatnonzero(~is_first)
+            if len(repeat_positions):
+                previous_rows = order[repeat_positions - 1]
+                overwrites += int(payloads[previous_rows].any(axis=1).sum())
+            if overwrites:
+                self.c_slot_overwrites.inc(overwrites)
+        # Last-wins scatter: numpy fancy assignment with duplicate indexes
+        # is unordered, so only the final write per slot is applied.
+        is_last = np.empty(count, dtype=bool)
+        is_last[-1] = True
+        is_last[:-1] = sorted_offsets[1:] != sorted_offsets[:-1]
+        final_rows = order[is_last]
+        buffer[offsets[final_rows][:, None] + np.arange(width)] = payloads[
+            final_rows
+        ]
+        self.c_writes.inc(count)
+        self.c_bytes_written.inc(count * width)
         return count
 
     def snapshot(self) -> bytes:

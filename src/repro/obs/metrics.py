@@ -190,6 +190,18 @@ class Histogram:
         self._sum += value
         self._count += 1
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in O(1).
+
+        The columnar batch path offers thousands of equally sized frames
+        per call; one bisect covers them all.
+        """
+        if count <= 0:
+            return
+        self._counts[bisect_left(self.bounds, value)] += count
+        self._sum += value * count
+        self._count += count
+
     @property
     def counts(self) -> Tuple[int, ...]:
         """Per-bucket (non-cumulative) counts; the last entry is ``+Inf``."""
@@ -292,6 +304,9 @@ class NullHistogram(_NullMetric):
     bounds: Tuple[float, ...] = ()
 
     def observe(self, value: float) -> None:
+        """No-op."""
+
+    def observe_many(self, value: float, count: int) -> None:
         """No-op."""
 
     @property

@@ -29,12 +29,17 @@ from repro.rdma.packets import (
     UdpHeader,
     compute_icrc,
 )
+from repro.rdma.frames import FrameBatch, FramePool, frame_width, icrc_rows
 from repro.rdma.qp import PSN_MODULUS, QueuePair, QueuePairState
 from repro.rdma.nic import NicCounters, RdmaNic
 from repro.rdma.requester import ConnectionState, ReliableRequester
 
 __all__ = [
     "ROCEV2_UDP_PORT",
+    "FrameBatch",
+    "FramePool",
+    "frame_width",
+    "icrc_rows",
     "AtomicEth",
     "Bth",
     "EthernetHeader",

@@ -17,9 +17,20 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from repro import obs
 from repro.mem.region import MemoryRegion, RegionAccessError
 from repro.obs.metrics import DEPTH_BUCKETS, LATENCY_BUCKETS
+from repro.rdma.frames import (
+    FrameBatch,
+    OVERHEAD_BYTES,
+    icrc_rows,
+    read_be16,
+    read_be24,
+    read_be32,
+    read_be64,
+)
 from repro.rdma.packets import (
     Aeth,
     Bth,
@@ -286,6 +297,125 @@ class RdmaNic:
             if profiler.enabled:
                 profiler.record("nic.ingest", started, ended)
         return executed
+
+    def _batch_is_uniform_writes(self, frames: np.ndarray) -> bool:
+        """Whether every row is a well-formed DART WRITE frame.
+
+        The vectorised ingest handles exactly the frame shape the DART
+        switch emits: IPv4/UDP/RoCEv2, RC RDMA WRITE ONLY, RETH dma_length
+        matching the payload, consistent length fields.  Anything else
+        (truncated frames, other opcodes, foreign traffic) routes through
+        the scalar reference path, which implements the full per-frame
+        drop taxonomy.
+        """
+        width = frames.shape[1]
+        if width < OVERHEAD_BYTES:
+            return False
+        ok = (
+            (frames[:, 12] == 0x08)
+            & (frames[:, 13] == 0x00)  # ethertype IPv4
+            & (frames[:, 14] == 0x45)  # version/IHL
+            & (frames[:, 23] == 17)  # protocol UDP
+            & (frames[:, 36] == 0x12)
+            & (frames[:, 37] == 0xB7)  # dst port 4791
+            & (frames[:, 42] == int(Opcode.RC_RDMA_WRITE_ONLY))
+        )
+        if not bool(ok.all()):
+            return False
+        if not bool((read_be16(frames, 16) == width - 14).all()):
+            return False  # IPv4 total length inconsistent
+        return bool((read_be32(frames, 66) == width - OVERHEAD_BYTES).all())
+
+    def ingest_batch(self, batch: FrameBatch) -> int:
+        """Columnar ingest: validate and execute a whole frame batch.
+
+        The zero-copy fast path behind ``Fabric.send_batch``: iCRC, QP,
+        PSN and access validation run as vector operations over the frame
+        matrix, and all surviving payloads land in the region via one
+        columnar write.  Counters, drops and the final memory image are
+        identical to feeding each row through :meth:`receive_frame` in
+        order; batches the vector path cannot express exactly (mixed
+        opcodes, malformed rows, tracer enabled) fall back to it.
+        """
+        frames = batch.frames
+        count = len(frames)
+        if count == 0:
+            return 0
+        if self._tracer.enabled or not self._batch_is_uniform_writes(frames):
+            # Reference path: per-frame spans and the full drop taxonomy.
+            return self.ingest_many(
+                frames[index].tobytes() for index in range(count)
+            )
+        profiler = self._profiler
+        timed = self._h_ingest_seconds.enabled or profiler.enabled
+        if timed:
+            started = perf_counter()
+        counters = self.counters
+        counters.c_received.inc(count)
+
+        if self.validate_icrc:
+            wire_icrc = (
+                np.ascontiguousarray(frames[:, -4:]).view("<u4").ravel()
+            )
+            decode_ok = wire_icrc == icrc_rows(frames)
+            failures = count - int(decode_ok.sum())
+            if failures:
+                counters.c_dropped_decode.inc(failures)
+        else:
+            decode_ok = np.ones(count, dtype=bool)
+
+        executed = np.zeros(count, dtype=bool)
+        dest_qps = read_be24(frames, 47)
+        psns = read_be32(frames, 50) & 0xFFFFFF
+        candidates = np.flatnonzero(decode_ok)
+        # Per-QP acceptance, preserving arrival order within each QP --
+        # the PSN state machine is sequential per queue pair.
+        for qp_number in dict.fromkeys(dest_qps[candidates].tolist()):
+            rows = candidates[dest_qps[candidates] == qp_number]
+            qp = self._queue_pairs.get(int(qp_number))
+            if qp is None:
+                counters.c_dropped_unknown_qp.inc(len(rows))
+                continue
+            accepted = qp.accept_array(psns[rows])
+            rejected = len(rows) - int(accepted.sum())
+            if rejected:
+                counters.c_dropped_psn.inc(rejected)
+            executed[rows[accepted]] = True
+
+        landed = np.flatnonzero(executed)
+        if len(landed):
+            region = self.region
+            width = frames.shape[1]
+            payload_bytes = width - OVERHEAD_BYTES
+            addresses = read_be64(frames, 54)[landed]
+            rkeys = read_be32(frames, 62)[landed]
+            base = np.uint64(region.base_address)
+            access_ok = (
+                (rkeys == region.rkey)
+                & (addresses >= base)
+                & (addresses + np.uint64(payload_bytes) <= base + np.uint64(region.size))
+            )
+            denied = len(landed) - int(access_ok.sum())
+            if denied:
+                counters.c_dropped_access.inc(denied)
+                executed[landed[~access_ok]] = False
+                landed = landed[access_ok]
+                addresses = addresses[access_ok]
+            if len(landed):
+                region.write_offset_columnar(
+                    (addresses - base).astype(np.int64),
+                    frames[landed, 70 : 70 + payload_bytes],
+                )
+                counters.c_writes.inc(len(landed))
+
+        if timed:
+            ended = perf_counter()
+            if self._h_ingest_seconds.enabled:
+                self._h_ingest_seconds.observe(ended - started)
+                self._h_ingest_batch.observe(count)
+            if profiler.enabled:
+                profiler.record("nic.ingest", started, ended)
+        return int(executed.sum())
 
     def receive_packet(self, packet: RoceV2Packet) -> bool:
         """Ingest an already-parsed packet (fast path for simulations)."""

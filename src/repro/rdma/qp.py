@@ -114,6 +114,34 @@ class QueuePair:
         self.accepted += 1
         return True
 
+    def accept_array(self, psns) -> "np.ndarray":
+        """Vectorised :meth:`accept` over an in-order PSN sequence.
+
+        Returns a boolean array, one entry per PSN, identical to calling
+        :meth:`accept` on each in order.  Strictly consecutive sequences
+        starting at the expected PSN -- the shape every healthy batch has
+        -- advance the QP in O(1); anything else (duplicates, gaps from an
+        impaired fabric) falls back to the exact scalar state machine.
+        """
+        import numpy as np
+
+        psns = np.asarray(psns, dtype=np.int64)
+        count = len(psns)
+        if count and self.state is QueuePairState.READY:
+            if self.policy is PsnPolicy.IGNORE:
+                self.accepted += count
+                return np.ones(count, dtype=bool)
+            expected = (
+                self.expected_psn + np.arange(count, dtype=np.int64)
+            ) % PSN_MODULUS
+            if np.array_equal(psns, expected):
+                self.expected_psn = int((psns[-1] + 1) % PSN_MODULUS)
+                self.accepted += count
+                return np.ones(count, dtype=bool)
+        return np.fromiter(
+            (self.accept(int(psn)) for psn in psns), dtype=bool, count=count
+        )
+
     @property
     def effective_peer_qp(self) -> int:
         """The QP number responses are addressed to."""

@@ -1,5 +1,7 @@
 """Tests for repro.obs.health plus fabric/queue observability regressions."""
 
+import numpy as np
+
 from repro import obs
 from repro.core.config import DartConfig
 from repro.core.policies import ReturnPolicy
@@ -8,6 +10,7 @@ from repro.fabric.fabric import BufferedFabric, Fabric, InlineFabric
 from repro.fabric.impaired import ImpairedFabric
 from repro.mem.region import MemoryRegion
 from repro.obs.health import PipelineHealth, render_dashboard, render_histogram
+from repro.rdma.frames import FrameBatch
 
 
 class _Port:
@@ -152,6 +155,49 @@ class TestPipelineHealthRates:
         finally:
             restore()
 
+    def test_columnar_packet_level_reconciliation(self):
+        """The columnar batch seam reconciles under a fully impaired,
+        buffered fabric exactly like the scalar path: every frame the
+        fabric claims to have delivered was received by a NIC, and every
+        executed write landed in a region."""
+        registry, restore = _with_registry()
+        try:
+            config = DartConfig(slots_per_collector=512, redundancy=2, seed=0)
+            fabric = ImpairedFabric(
+                BufferedFabric(flush_threshold=32),
+                loss=0.05,
+                duplication=0.05,
+                reordering=0.1,
+                seed=3,
+            )
+            store = DartStore(
+                config, packet_level=True, fabric=fabric, columnar=True
+            )
+            store.put_many(
+                [(("flow", i), b"v%d" % i) for i in range(100)]
+            )
+            fabric.flush()
+            health = PipelineHealth.from_registry(registry)
+            assert health.impairment_offered == 200
+            assert health.frames_lost > 0
+            counters = fabric.counters
+            assert health.frames_lost == counters.frames_dropped_loss
+            assert counters.frames_duplicated > 0
+            assert counters.frames_reordered > 0
+            # Conservation through the batch seam: offered frames either
+            # dropped in flight or delivered (duplicates add deliveries).
+            assert (
+                fabric.delivered.frames_delivered
+                == 200
+                - counters.frames_dropped_loss
+                + counters.frames_duplicated
+            )
+            assert health.fabric_nic_delta == 0
+            assert health.nic_frames_received == health.frames_delivered
+            assert health.mem_writes == health.nic_writes_executed
+        finally:
+            restore()
+
 
 class TestDashboardRendering:
     def test_dashboard_sections_present(self):
@@ -205,6 +251,37 @@ class TestEveryFabricCountsDeliveries:
                     f"fabric_frames_delivered"
                 )
                 assert registry.total("fabric_frames_offered") >= 1
+            finally:
+                restore()
+
+    def test_every_fabric_subclass_accounts_batch_deliveries(self):
+        """Meta-test: the columnar ``send_batch`` seam must account frames
+        in the same shared families as the scalar path, for every concrete
+        Fabric (ImpairedFabric via the inner fabric it delegates to)."""
+        subclasses = set(Fabric.__subclasses__())
+        assert {InlineFabric, BufferedFabric, ImpairedFabric} <= subclasses
+        for cls in sorted(subclasses, key=lambda c: c.__name__):
+            registry, restore = _with_registry()
+            try:
+                try:
+                    fabric = cls()
+                except TypeError:
+                    fabric = cls(InlineFabric())
+                fabric.attach(1, _Port())
+                batch = FrameBatch(
+                    np.zeros((3, 16), dtype=np.uint8),
+                    np.ones(3, dtype=np.int64),
+                )
+                fabric.send_batch(batch)
+                fabric.flush()
+                assert registry.total("fabric_frames_offered") >= 3, (
+                    f"{cls.__name__}.send_batch did not account offered "
+                    f"frames in fabric_frames_offered"
+                )
+                assert registry.total("fabric_frames_delivered") >= 3, (
+                    f"{cls.__name__}.send_batch delivered frames without "
+                    f"incrementing fabric_frames_delivered"
+                )
             finally:
                 restore()
 
