@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-obs-timeseries bench-control bench-fabric-columnar experiments experiments-full examples lint ci all
+.PHONY: install test bench bench-obs bench-obs-timeseries bench-control bench-fabric-columnar bench-primitives experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -19,7 +19,7 @@ lint:
 	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-ci: lint bench-obs bench-obs-timeseries bench-control bench-fabric-columnar
+ci: lint bench-obs bench-obs-timeseries bench-control bench-fabric-columnar bench-primitives
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
@@ -48,6 +48,12 @@ bench-control:
 # (writes benchmarks/BENCH_fabric.json).
 bench-fabric-columnar:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_fabric_columnar.py -q
+
+# DTA primitive gate: the batched Append / Key-Increment / Sketch-Merge
+# lowerings must each hold >= 5x over their scalar per-op baselines
+# (writes benchmarks/BENCH_primitives.json).
+bench-primitives:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_primitives.py -q
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

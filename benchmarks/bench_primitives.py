@@ -1,0 +1,131 @@
+"""CI gate for the DTA primitive translators (``make bench-primitives``).
+
+Each primitive is measured twice over an identical workload:
+
+- ``*_per_op``  -- the scalar reference path, one frame craft and one
+  ``fabric.send`` per operation (per-record tail reservation for Append);
+- ``*_batch``   -- the columnar path: one pooled frame batch per call
+  (template + patch encode, vectorised iCRC) through ``send_batch``.
+
+The gate asserts each batched mode holds >= 5x its own per-op baseline
+measured in the same run, then records the rows to
+``benchmarks/BENCH_primitives.json`` (same shape as ``BENCH_fabric.json``:
+every row names its ``baseline`` mode and carries a within-run
+``speedup``).
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.collector.counters import CounterStore
+from repro.experiments.reporting import print_experiment
+from repro.primitives import AppendStore
+
+#: Where the primitive throughput comparison records its rows.
+PRIMITIVES_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_primitives.json"
+
+#: Batched lowering must beat the scalar per-op lowering by this factor.
+PRIMITIVE_SPEEDUP_FLOOR = 5.0
+
+
+def _time_best_of(func, repeats=3):
+    """Best wall-clock of ``repeats`` runs; each run builds fresh state."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rows_for(primitive, ops, per_op, batch):
+    """Two rows (scalar baseline + batched) for one primitive."""
+    per_op_seconds = _time_best_of(per_op)
+    batch_seconds = _time_best_of(batch)
+    baseline = f"{primitive}_per_op"
+    rows = []
+    for mode, seconds in (
+        (baseline, per_op_seconds),
+        (f"{primitive}_batch", batch_seconds),
+    ):
+        rows.append(
+            {
+                "mode": mode,
+                "baseline": baseline,
+                "ops": ops,
+                "seconds": round(seconds, 5),
+                "ops_per_sec": round(ops / seconds, 1),
+                "speedup": round(per_op_seconds / seconds, 3),
+            }
+        )
+    return rows
+
+
+def primitive_rows(ops: int = 1_000) -> list:
+    """Per-op vs batched lowering for Append / Key-Increment / Sketch-Merge.
+
+    The workloads run the full packet path -- translator encode, fabric
+    delivery, NIC validation, region DMA -- against fresh collector-side
+    stores per timing run, so the rows compare lowering strategies, not
+    warm caches.
+    """
+    rows = []
+
+    # Key-Increment: `ops` skewed keys, 2 FETCH_ADDs per key (rows=2).
+    items = [(("flow", i % 97), 1 + i % 3) for i in range(ops)]
+
+    def increment_per_op():
+        store = CounterStore(cells_per_row=1 << 12, rows=2)
+        for key, amount in items:
+            store.add(key, amount)
+
+    def increment_batch():
+        CounterStore(cells_per_row=1 << 12, rows=2).add_many(items)
+
+    rows += _rows_for("key_increment", ops, increment_per_op, increment_batch)
+
+    # Append: `ops` fixed-width records into a ring that wraps ~4 times.
+    records = [i.to_bytes(8, "big") for i in range(ops)]
+
+    def append_per_op():
+        writer = AppendStore(capacity=max(ops // 4, 8)).register_writer(0)
+        for record in records:
+            writer.append(record)
+
+    def append_batch():
+        writer = AppendStore(capacity=max(ops // 4, 8)).register_writer(0)
+        writer.append_many(records)
+
+    rows += _rows_for("append", ops, append_per_op, append_batch)
+
+    # Sketch-Merge: a source matrix with exactly `ops` non-zero cells.
+    cells = np.zeros((2, 1 << 12), dtype=np.uint64)
+    cells.reshape(-1)[:ops] = 1 + np.arange(ops, dtype=np.uint64) % 251
+
+    def merge_per_op():
+        CounterStore(cells_per_row=1 << 12, rows=2).merger().merge_scalar(cells)
+
+    def merge_batch():
+        CounterStore(cells_per_row=1 << 12, rows=2).merger().merge(cells)
+
+    rows += _rows_for("sketch_merge", ops, merge_per_op, merge_batch)
+    return rows
+
+
+def test_primitive_batch_gate(run_once, full_scale):
+    """Every batched primitive lowering >= 5x its scalar baseline."""
+    ops = 5_000 if full_scale else 1_000
+    rows = run_once(primitive_rows, ops=ops)
+    print_experiment("DTA primitive lowering gate", rows)
+    by_mode = {row["mode"]: row for row in rows}
+    for primitive in ("key_increment", "append", "sketch_merge"):
+        batched = by_mode[f"{primitive}_batch"]
+        assert batched["baseline"] == f"{primitive}_per_op"
+        assert batched["speedup"] >= PRIMITIVE_SPEEDUP_FLOOR, (
+            f"{primitive} batched lowering at {batched['speedup']}x its "
+            f"per-op baseline, need >= {PRIMITIVE_SPEEDUP_FLOOR}x"
+        )
+    PRIMITIVES_ARTIFACT.write_text(json.dumps(rows, indent=2) + "\n")

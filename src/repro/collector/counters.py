@@ -7,6 +7,15 @@ substrates: each counter key hashes (with the same global hash family) to a
 bank of 8-byte cells, and switches emit RDMA FETCH_ADD packets instead of
 keeping per-flow state locally.
 
+The switch half of the lowering lives in
+:class:`~repro.primitives.translator.KeyIncrementTranslator` (the DTA
+Key-Increment primitive); this store wires one translator to its own bank
+and keeps the historical ``add``/``add_many``/``craft_add_frames`` API as
+thin delegates.  Merging another sketch goes through
+:class:`~repro.primitives.translator.SketchMergeTranslator` -- real
+FETCH_ADD frames through the fabric and NIC, so ``total_adds()`` and the
+``PipelineHealth`` reconciliation see merges like any other traffic.
+
 Collisions behave like a conservative count-min row: a cell may aggregate
 several keys, so reads are upper bounds.  Using ``rows > 1`` gives a full
 count-min sketch whose read is the minimum across rows -- the "network-wide
@@ -19,22 +28,36 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro import obs
 from repro.core.config import DartConfig
 from repro.obs.metrics import LATENCY_BUCKETS
 from repro.fabric.fabric import Fabric, InlineFabric
 from repro.hashing.hash_family import HashFamily, Key
 from repro.mem.region import MemoryRegion
+from repro.primitives.translator import (
+    COUNTER_FUNCTION_BASE,
+    KeyIncrementTranslator,
+    ResponseDemux,
+    SketchMergeTranslator,
+)
 from repro.rdma.nic import RdmaNic
-from repro.rdma.packets import AtomicEth, Bth, Opcode, RoceV2Packet
 from repro.rdma.qp import PsnPolicy, QueuePair
 
-#: Hash-family member base reserved for counter rows (distinct from slot
-#: addressing, collector selection and checksums).
-_COUNTER_FUNCTION_BASE = 0x20000000
+#: Hash-family member base reserved for counter rows (re-exported from the
+#: translator module, which owns the addressing contract).
+_COUNTER_FUNCTION_BASE = COUNTER_FUNCTION_BASE
 
 #: Fabric endpoint ID the counter bank's NIC is attached at.
 COUNTER_ENDPOINT_ID = 0
+
+#: Responder QP number serving FETCH_ADD traffic for the bank.
+COUNTER_QP_NUMBER = 0x200
+
+#: Responder QP number serving merge traffic (kept distinct so merges and
+#: live increments each look like a well-formed requester stream).
+MERGE_QP_NUMBER = 0x201
 
 
 class CounterStore:
@@ -69,6 +92,8 @@ class CounterStore:
             raise ValueError(f"rows must be >= 1, got {rows}")
         self.cells_per_row = cells_per_row
         self.rows = rows
+        #: Fabric endpoint this bank's NIC is attached at.
+        self.endpoint_id = COUNTER_ENDPOINT_ID
         seed = config.seed if config is not None else 0
         self._family = HashFamily(seed=seed)
         self.region = MemoryRegion(
@@ -76,10 +101,27 @@ class CounterStore:
         )
         self.nic = RdmaNic(self.region)
         self.qp = self.nic.create_queue_pair(
-            QueuePair(qp_number=0x200, policy=PsnPolicy.IGNORE)
+            QueuePair(qp_number=COUNTER_QP_NUMBER, policy=PsnPolicy.IGNORE)
+        )
+        self.merge_qp = self.nic.create_queue_pair(
+            QueuePair(qp_number=MERGE_QP_NUMBER, policy=PsnPolicy.IGNORE)
         )
         self.fabric = fabric if fabric is not None else InlineFabric()
         self.fabric.attach(COUNTER_ENDPOINT_ID, self.nic)
+        #: Shared response router for query clients on this endpoint.
+        self.demux = ResponseDemux()
+        #: The switch-side Key-Increment lowering bound to this bank.
+        self.translator = KeyIncrementTranslator(
+            self.fabric,
+            COUNTER_ENDPOINT_ID,
+            self.qp.qp_number,
+            base_address=self.region.base_address,
+            rkey=self.region.rkey,
+            cells_per_row=cells_per_row,
+            rows=rows,
+            family=self._family,
+        )
+        self._merger: Optional[SketchMergeTranslator] = None
         registry = obs.get_registry()
         labels = registry.instance_labels("CounterStore")
         #: Keys counted through the packet path.
@@ -94,72 +136,56 @@ class CounterStore:
             labels={"stage": "counter_add_many"},
             help="wall-clock seconds per batched FETCH_ADD pass",
         )
-        self._psn = 0
 
     def __repr__(self) -> str:
         return f"CounterStore(cells_per_row={self.cells_per_row}, rows={self.rows})"
 
+    @property
+    def _psn(self) -> int:
+        """The translator's next PSN (kept for PSN-accounting tests)."""
+        return self.translator.psn
+
     def _cell_address(self, key: Key, row: int) -> int:
-        index = self._family.hash_key_mod(
-            key, _COUNTER_FUNCTION_BASE + row, self.cells_per_row
-        )
-        offset = (row * self.cells_per_row + index) * 8
-        return self.region.base_address + offset
+        return self.translator.cell_address(key, row)
 
     # ------------------------------------------------------------------
     # Write path: switches emit FETCH_ADD frames
     # ------------------------------------------------------------------
 
     def craft_add_frames(self, key: Key, amount: int = 1) -> List[bytes]:
-        """The RoCEv2 FETCH_ADD frames a switch emits to count ``key``."""
-        if amount < 0:
-            raise ValueError("amount must be non-negative")
-        frames = []
-        for row in range(self.rows):
-            packet = RoceV2Packet(
-                bth=Bth(
-                    opcode=int(Opcode.RC_FETCH_ADD),
-                    dest_qp=self.qp.qp_number,
-                    psn=self._psn,
-                ),
-                atomic_eth=AtomicEth(
-                    virtual_address=self._cell_address(key, row),
-                    rkey=self.region.rkey,
-                    swap_add=amount,
-                ),
-            )
-            self._psn = (self._psn + 1) % (1 << 24)
-            frames.append(packet.pack())
-        return frames
+        """The RoCEv2 FETCH_ADD frames a switch emits to count ``key``.
+
+        Zero-amount adds craft nothing: no frames, no PSNs burned.
+        """
+        return self.translator.craft_add_frames(key, amount)
 
     def add(self, key: Key, amount: int = 1) -> None:
-        """Count ``key`` through the full packet path (switch -> NIC -> DMA)."""
-        self.c_adds.inc()
-        for frame in self.craft_add_frames(key, amount):
-            self.fabric.send(COUNTER_ENDPOINT_ID, frame)
+        """Count ``key`` through the full packet path (switch -> NIC -> DMA).
+
+        A zero ``amount`` is a no-op: nothing is offered to the fabric
+        and ``c_adds`` does not move.
+        """
+        if self.translator.increment(key, amount):
+            self.c_adds.inc()
 
     def add_many(self, items: Iterable[Tuple[Key, int]]) -> int:
         """Batched counting: ``(key, amount)`` pairs through one fabric pass.
 
-        Crafts every FETCH_ADD frame first, then offers them to the fabric
-        in one :meth:`~repro.fabric.Fabric.send_many` call (and flushes, so
-        deferring fabrics apply everything before returning).  Returns the
-        number of frames offered.
+        Lowers every non-zero item through the translator's columnar
+        FETCH_ADD path -- one pooled frame batch offered via
+        :meth:`~repro.fabric.Fabric.send_batch`, then a flush, so
+        deferring fabrics apply everything before returning.  Zero-amount
+        items are skipped entirely.  Returns the number of frames offered.
         """
         timed = self._h_add_many_seconds.enabled
         if timed:
             started = perf_counter()
-        frames: List[bytes] = []
-        count = 0
-        for key, amount in items:
-            frames.extend(self.craft_add_frames(key, amount))
-            count += 1
-        self.c_adds.inc(count)
-        self.fabric.send_many(COUNTER_ENDPOINT_ID, frames)
-        self.fabric.flush()
+        before = self.translator.c_increments.value
+        offered = self.translator.increment_many(items)
+        self.c_adds.inc(self.translator.c_increments.value - before)
         if timed:
             self._h_add_many_seconds.observe(perf_counter() - started)
-        return len(frames)
+        return offered
 
     # ------------------------------------------------------------------
     # Read path: local memory reads, min across rows
@@ -190,6 +216,15 @@ class CounterStore:
             for offset in range(0, len(row0), 8)
         )
 
+    def cell_matrix(self) -> np.ndarray:
+        """The bank as a ``uint64[rows, cells_per_row]`` copy (native order)."""
+        image = self.region.read_offset(0, self.cells_per_row * self.rows * 8)
+        return (
+            np.frombuffer(image, dtype=">u8")
+            .astype(np.uint64)
+            .reshape(self.rows, self.cells_per_row)
+        )
+
     def error_bound(self) -> tuple:
         """Count-min guarantee ``(epsilon, delta)``.
 
@@ -207,26 +242,45 @@ class CounterStore:
         Count-min cannot enumerate keys, so the operator supplies the
         candidate set (e.g. flows observed by the anomaly backend); the
         upper-bound property guarantees no true heavy hitter is missed.
-        Returns ``[(key, estimate)]`` sorted by estimate, descending.
+        Each candidate is estimated exactly once (one bank read and one
+        ``c_estimates`` tick per candidate).  Returns ``[(key, estimate)]``
+        sorted by estimate, descending.
         """
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
-        hits = [
-            (key, self.estimate(key))
-            for key in candidates
-            if self.estimate(key) >= threshold
-        ]
+        hits = []
+        for key in candidates:
+            estimate = self.estimate(key)
+            if estimate >= threshold:
+                hits.append((key, estimate))
         hits.sort(key=lambda item: item[1], reverse=True)
         return hits
 
+    def merger(self) -> SketchMergeTranslator:
+        """The Sketch-Merge lowering targeting this bank (lazily built)."""
+        if self._merger is None:
+            self._merger = SketchMergeTranslator(
+                self.fabric,
+                COUNTER_ENDPOINT_ID,
+                self.merge_qp.qp_number,
+                base_address=self.region.base_address,
+                rkey=self.region.rkey,
+            )
+        return self._merger
+
     def merge_from(self, other: "CounterStore") -> None:
-        """Cell-wise merge of another sketch into this one.
+        """Cell-wise merge of another sketch into this one, on the wire.
 
         Valid only for identically shaped sketches built from the same
-        hash seed (same cell addressing).  Because every update is an
-        atomic add, merging commutes with concurrent updates -- this is
-        the "network-wide aggregation of sketches" of paper section 7,
-        e.g. folding per-collector sketches into a global one.
+        hash seed (same cell addressing).  The merge is lowered through
+        the Sketch-Merge translator: one RC FETCH_ADD frame per non-zero
+        source cell travels the fabric and is executed by this bank's
+        NIC, so ``total_adds()``, the NIC/region counters and the
+        ``PipelineHealth`` reconciliation all account for merges exactly
+        like live increment traffic.  Because every update is an atomic
+        add, merging commutes with concurrent updates -- the
+        "network-wide aggregation of sketches" of paper section 7, e.g.
+        folding per-collector sketches into a global one.
         """
         if (
             other.cells_per_row != self.cells_per_row
@@ -234,11 +288,4 @@ class CounterStore:
             or other._family != self._family
         ):
             raise ValueError("sketches are not mergeable (shape/seed differ)")
-        total_cells = self.cells_per_row * self.rows
-        for index in range(total_cells):
-            offset = index * 8
-            addend = int.from_bytes(other.region.read_offset(offset, 8), "big")
-            if addend:
-                self.region.dma_fetch_add(
-                    self.region.base_address + offset, addend
-                )
+        self.merger().merge(other.cell_matrix())

@@ -74,6 +74,7 @@ class PipelineHealth:
     nic_drop_breakdown: Dict[str, int] = field(default_factory=dict)
     # Memory-side accounting.
     mem_writes: int = 0
+    mem_atomics: int = 0
     mem_slot_overwrites: int = 0
     # Query plane, per return policy.
     queries: List[QueryHealth] = field(default_factory=list)
@@ -103,6 +104,18 @@ class PipelineHealth:
         """Delivered-vs-received reconciliation (0 when nothing bypasses
         the fabric seam and everything in flight has been flushed)."""
         return self.frames_delivered - self.nic_frames_received
+
+    @property
+    def atomic_bypass_delta(self) -> int:
+        """Memory atomics not accounted for by any NIC (0 when healthy).
+
+        Every atomic should enter a region through a NIC executing a
+        FETCH_ADD / CMP_SWAP frame; a positive delta means some code
+        path called ``dma_fetch_add`` / ``dma_compare_swap`` directly,
+        bypassing the wire (the bug the Sketch-Merge lowering fixed in
+        ``CounterStore.merge_from``).
+        """
+        return self.mem_atomics - self.nic_atomics_executed
 
     @property
     def slot_overwrite_rate(self) -> float:
@@ -162,6 +175,7 @@ class PipelineHealth:
             nic_atomics_executed=int(total("nic_atomics_executed")),
             nic_drop_breakdown=drop_breakdown,
             mem_writes=int(total("mem_writes")),
+            mem_atomics=int(total("mem_atomics")),
             mem_slot_overwrites=int(total("mem_slot_overwrites")),
             queries=queries,
         )
@@ -185,6 +199,8 @@ class PipelineHealth:
             "nic_frames_dropped": self.nic_frames_dropped,
             "nic_drop_breakdown": dict(self.nic_drop_breakdown),
             "mem_writes": self.mem_writes,
+            "mem_atomics": self.mem_atomics,
+            "atomic_bypass_delta": self.atomic_bypass_delta,
             "mem_slot_overwrites": self.mem_slot_overwrites,
             "slot_overwrite_rate": self.slot_overwrite_rate,
             "queries": {
@@ -270,6 +286,10 @@ def render_dashboard(registry: MetricsRegistry) -> str:
     lines.append(
         f"memory writes         {health.mem_writes:>10}  "
         f"slot overwrites {health.mem_slot_overwrites}"
+    )
+    lines.append(
+        f"memory atomics        {health.mem_atomics:>10}  "
+        f"(atomic bypass delta {health.atomic_bypass_delta})"
     )
     lines.append(f"slot overwrite rate   {health.slot_overwrite_rate:>10.4f}")
 

@@ -1,0 +1,81 @@
+"""The full DTA primitive set, lowered to RoCEv2 verbs.
+
+The follow-up paper to the HotNets sketch ("Direct Telemetry Access",
+arXiv 2202.02270) defines four collection primitives.  Key-Write is the
+original DART datapath (``repro.switch`` / ``repro.collector``); this
+package adds the other three as switch-side *verb translators* plus
+their collector-side stores and query clients:
+
+====================  ===========================================  ==============
+Primitive             RoCEv2 lowering                              Collector side
+====================  ===========================================  ==============
+Append                FETCH_ADD tail reservation + ring WRITEs     AppendStore
+Key-Increment         one FETCH_ADD per count-min row              CounterStore
+Sketch-Merge          FETCH_ADD bank, one per non-zero cell        SketchStore
+====================  ===========================================  ==============
+
+Everything travels the ``repro.fabric`` seam, so all three primitives
+run unchanged over inline, buffered and impaired transports, and the
+section-4-style models in :mod:`repro.primitives.theory` predict their
+accuracy under loss.
+"""
+
+from repro.primitives.append import (
+    APPEND_ENDPOINT_ID,
+    AppendStore,
+    RingSnapshot,
+    WRITER_QP_BASE,
+)
+from repro.primitives.clients import (
+    AppendQueryClient,
+    CounterQueryClient,
+    OneSidedReader,
+)
+from repro.primitives.translator import (
+    AppendReserveError,
+    AppendTranslator,
+    COUNTER_FUNCTION_BASE,
+    KeyIncrementTranslator,
+    PrimitiveTranslator,
+    ResponseDemux,
+    SketchMergeTranslator,
+)
+from repro.primitives import theory
+
+
+def __getattr__(name: str):
+    """Lazy exports for the sketch module.
+
+    ``repro.primitives.sketch`` subclasses
+    :class:`~repro.collector.counters.CounterStore`, whose module in turn
+    imports this package's translator -- importing it eagerly here would
+    close an import cycle.  PEP 562 lets the package expose
+    ``SwitchSketch`` / ``SketchStore`` without paying that cost at import
+    time.
+    """
+    if name in ("SketchStore", "SwitchSketch"):
+        from repro.primitives import sketch
+
+        return getattr(sketch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "APPEND_ENDPOINT_ID",
+    "AppendQueryClient",
+    "AppendReserveError",
+    "AppendStore",
+    "AppendTranslator",
+    "COUNTER_FUNCTION_BASE",
+    "CounterQueryClient",
+    "KeyIncrementTranslator",
+    "OneSidedReader",
+    "PrimitiveTranslator",
+    "ResponseDemux",
+    "RingSnapshot",
+    "SketchMergeTranslator",
+    "SketchStore",
+    "SwitchSketch",
+    "WRITER_QP_BASE",
+    "theory",
+]

@@ -1,0 +1,280 @@
+"""One-sided query clients for the primitive stores.
+
+Remote operators read Append rings and counter/sketch banks without
+waking the collector CPU: RDMA READ requests go in through the fabric,
+and the collector NIC serves them from registered memory.  Responses are
+routed through the store's shared :class:`ResponseDemux`, so query
+clients and Append writers can poll the same endpoint without stealing
+each other's frames.
+
+This is the query-side companion to the switch-side translators; the
+local read paths (``AppendStore.recover``, ``CounterStore.estimate``)
+remain the cheap option when the operator runs on the collector host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.collector.counters import CounterStore
+
+from repro import obs
+from repro.fabric.fabric import Fabric
+from repro.hashing.hash_family import Key
+from repro.primitives.append import AppendStore, RingSnapshot
+from repro.primitives.translator import ResponseDemux
+from repro.rdma.nic import RdmaNic
+from repro.rdma.packets import Bth, Opcode, Reth, RoceV2Packet
+from repro.rdma.qp import PSN_MODULUS, PsnPolicy, QueuePair
+
+#: Requester QP number of operator 0 reading Append rings.
+APPEND_READER_QP_BASE = 0xA00
+
+#: Requester QP number of operator 0 reading counter banks.
+COUNTER_READER_QP_BASE = 0xB00
+
+
+class OneSidedReader:
+    """One requester QP's worth of RDMA READ plumbing over a fabric.
+
+    Crafts READ requests, polls the shared demux, and matches responses
+    by PSN.  Requests can be lost by an impaired fabric; the response leg
+    is modelled lossless, so a missing response means the request never
+    executed and readers may simply retry.
+
+    Parameters
+    ----------
+    fabric / endpoint_id:
+        Transport and endpoint of the target collector NIC.
+    nic:
+        The target NIC (a requester QP is registered on it at bring-up).
+    qp_number:
+        This reader's QP number (responses come back addressed to it).
+    demux:
+        The endpoint's shared response router.
+    rkey:
+        Remote key of the target region.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        endpoint_id: int,
+        nic: RdmaNic,
+        qp_number: int,
+        demux: ResponseDemux,
+        rkey: int,
+    ) -> None:
+        self.fabric = fabric
+        self.endpoint_id = endpoint_id
+        self.qp = nic.create_queue_pair(
+            QueuePair(qp_number=qp_number, policy=PsnPolicy.IGNORE)
+        )
+        self.demux = demux
+        self.rkey = rkey
+        self._psn = 0
+        registry = obs.get_registry()
+        labels = registry.instance_labels("OneSidedReader")
+        #: READ request frames issued.
+        self.c_reads_sent = registry.counter(
+            "primitive_read_requests", labels=labels
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OneSidedReader(endpoint={self.endpoint_id}, "
+            f"qp={self.qp.qp_number:#x})"
+        )
+
+    def _next_psn(self) -> int:
+        psn = self._psn
+        self._psn = (psn + 1) % PSN_MODULUS
+        return psn
+
+    def _craft_read(self, address: int, length: int, psn: int) -> bytes:
+        request = RoceV2Packet(
+            bth=Bth(
+                opcode=int(Opcode.RC_RDMA_READ_REQUEST),
+                dest_qp=self.qp.qp_number,
+                psn=psn,
+            ),
+            reth=Reth(
+                virtual_address=address, rkey=self.rkey, dma_length=length
+            ),
+        )
+        return request.pack()
+
+    def read(self, address: int, length: int) -> Optional[bytes]:
+        """One READ round trip; ``None`` if the request was lost/rejected."""
+        psn = self._next_psn()
+        self.c_reads_sent.inc()
+        self.fabric.send(self.endpoint_id, self._craft_read(address, length, psn))
+        self.demux.poll(self.fabric, self.endpoint_id)
+        for response in self.demux.take(self.qp.qp_number):
+            if (
+                response.bth.opcode == int(Opcode.RC_RDMA_READ_RESPONSE_ONLY)
+                and response.bth.psn == psn
+            ):
+                return response.payload
+        return None
+
+    def read_run(self, addresses: List[int], length: int) -> List[Optional[bytes]]:
+        """Pipelined READs: all requests first, then one response drain.
+
+        Returns one entry per address, ``None`` where the request was
+        lost.  Responses are matched by PSN, so ordering quirks in the
+        request leg cannot misattribute payloads.
+        """
+        psns = [self._next_psn() for _address in addresses]
+        frames = [
+            self._craft_read(address, length, psn)
+            for address, psn in zip(addresses, psns)
+        ]
+        self.c_reads_sent.inc(len(frames))
+        self.fabric.send_many(self.endpoint_id, frames)
+        self.fabric.flush()
+        self.demux.poll(self.fabric, self.endpoint_id)
+        by_psn: Dict[int, bytes] = {}
+        for response in self.demux.take(self.qp.qp_number):
+            if response.bth.opcode == int(Opcode.RC_RDMA_READ_RESPONSE_ONLY):
+                by_psn[response.bth.psn] = response.payload
+        return [by_psn.get(psn) for psn in psns]
+
+
+class AppendQueryClient:
+    """Remote head/tail recovery of an Append ring over one-sided READs.
+
+    Parameters
+    ----------
+    store:
+        The ring to read (supplies region geometry, NIC and demux).
+    operator_id:
+        Distinguishes operator stations; each gets its own requester QP.
+    fabric:
+        Optional override transport; defaults to the store's fabric.
+    """
+
+    def __init__(
+        self,
+        store: AppendStore,
+        operator_id: int = 0,
+        fabric: Optional[Fabric] = None,
+    ) -> None:
+        if operator_id < 0:
+            raise ValueError("operator_id must be non-negative")
+        self.store = store
+        self.reader = OneSidedReader(
+            fabric if fabric is not None else store.fabric,
+            store.endpoint_id,
+            store.nic,
+            APPEND_READER_QP_BASE + operator_id,
+            store.demux,
+            store.region.rkey,
+        )
+        registry = obs.get_registry()
+        labels = registry.instance_labels("AppendQueryClient")
+        #: Remote ring recoveries served.
+        self.c_recoveries = registry.counter(
+            "append_remote_recoveries", labels=labels
+        )
+
+    def __repr__(self) -> str:
+        return f"AppendQueryClient(store={self.store!r})"
+
+    def tail(self) -> Optional[int]:
+        """The ring's absolute tail, read over the wire (None if lost)."""
+        raw = self.reader.read(self.store.tail_address, 8)
+        if raw is None:
+            return None
+        return int.from_bytes(raw, "big")
+
+    def snapshot(self) -> Optional[RingSnapshot]:
+        """Remote head/tail recovery, mirroring ``AppendStore.recover``.
+
+        Reads the tail pointer, then pipelines one READ per readable
+        slot.  Records whose READ was lost are omitted.  Returns ``None``
+        only when the tail read itself was lost.
+        """
+        tail = self.tail()
+        if tail is None:
+            return None
+        store = self.store
+        head = max(0, tail - store.capacity)
+        indexes = list(range(head, tail))
+        addresses = [
+            store.data_address + (index % store.capacity) * store.record_bytes
+            for index in indexes
+        ]
+        payloads = self.reader.read_run(addresses, store.record_bytes)
+        records = [
+            (index, payload)
+            for index, payload in zip(indexes, payloads)
+            if payload is not None
+        ]
+        self.c_recoveries.inc()
+        return RingSnapshot(head=head, tail=tail, records=records)
+
+
+class CounterQueryClient:
+    """Remote count-min estimates from a counter bank over one-sided READs.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.collector.counters.CounterStore` (or
+        :class:`~repro.primitives.sketch.SketchStore`) to read.
+    operator_id:
+        Distinguishes operator stations; each gets its own requester QP.
+    fabric:
+        Optional override transport; defaults to the store's fabric.
+    """
+
+    def __init__(
+        self,
+        store: "CounterStore",
+        operator_id: int = 0,
+        fabric: Optional[Fabric] = None,
+    ) -> None:
+        if operator_id < 0:
+            raise ValueError("operator_id must be non-negative")
+        self.store = store
+        self.reader = OneSidedReader(
+            fabric if fabric is not None else store.fabric,
+            store.endpoint_id,
+            store.nic,
+            COUNTER_READER_QP_BASE + operator_id,
+            store.demux,
+            store.region.rkey,
+        )
+        registry = obs.get_registry()
+        labels = registry.instance_labels("CounterQueryClient")
+        #: Remote estimates served.
+        self.c_estimates = registry.counter(
+            "counter_remote_estimates", labels=labels
+        )
+
+    def __repr__(self) -> str:
+        return f"CounterQueryClient(store={self.store!r})"
+
+    def estimate(self, key: Key) -> Optional[int]:
+        """Remote count-min estimate: min across the key's row cells.
+
+        Pipelines one READ per row and takes the minimum of the cells
+        that came back; ``None`` when every READ was lost.
+        """
+        store = self.store
+        addresses = [
+            store.translator.cell_address(key, row)
+            for row in range(store.rows)
+        ]
+        payloads = self.reader.read_run(addresses, 8)
+        values = [
+            int.from_bytes(payload, "big")
+            for payload in payloads
+            if payload is not None
+        ]
+        self.c_estimates.inc()
+        if not values:
+            return None
+        return min(values)

@@ -1,0 +1,130 @@
+"""Sketch-Merge's two halves: switch-resident sketches, collector banks.
+
+Switches keep a local count-min sketch in register arrays
+(:class:`SwitchSketch`) and periodically fold it into collector memory
+through the :class:`~repro.primitives.translator.SketchMergeTranslator`
+-- one FETCH_ADD per non-zero cell.  The collector side
+(:class:`SketchStore`) is a :class:`~repro.collector.counters.CounterStore`
+bank plus merge plumbing; both sides share the global hash family and the
+``COUNTER_FUNCTION_BASE`` member indexes, so a key hashes to the same
+cells on the switch and in the collector bank.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.collector.counters import CounterStore
+from repro.core.config import DartConfig
+from repro.hashing.hash_family import HashFamily, Key
+from repro.primitives.translator import COUNTER_FUNCTION_BASE
+
+
+class SwitchSketch:
+    """A switch-resident count-min sketch in register arrays.
+
+    The switch-local half of Sketch-Merge: updates are plain register
+    increments (no wire traffic), and the whole sketch is periodically
+    merged into a collector bank and cleared.  Addressing is identical to
+    :class:`~repro.collector.counters.CounterStore` with the same shape
+    and seed, so merged cells line up bit for bit.
+
+    Parameters
+    ----------
+    cells_per_row / rows:
+        Sketch shape (must match the target bank to merge).
+    config:
+        Optional deployment config supplying the hash-family seed.
+    """
+
+    def __init__(
+        self,
+        cells_per_row: int = 1 << 12,
+        rows: int = 2,
+        config: Optional[DartConfig] = None,
+    ) -> None:
+        if cells_per_row < 1:
+            raise ValueError(f"cells_per_row must be >= 1, got {cells_per_row}")
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        self.cells_per_row = cells_per_row
+        self.rows = rows
+        seed = config.seed if config is not None else 0
+        self.family = HashFamily(seed=seed)
+        #: The register arrays: ``uint64[rows, cells_per_row]``.
+        self.cells = np.zeros((rows, cells_per_row), dtype=np.uint64)
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchSketch(cells_per_row={self.cells_per_row}, "
+            f"rows={self.rows}, total={self.total_count()})"
+        )
+
+    def _cell_index(self, key: Key, row: int) -> int:
+        return self.family.hash_key_mod(
+            key, COUNTER_FUNCTION_BASE + row, self.cells_per_row
+        )
+
+    def update(self, key: Key, amount: int = 1) -> None:
+        """Count ``key`` in every row (a register increment per row)."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        for row in range(self.rows):
+            self.cells[row, self._cell_index(key, row)] += np.uint64(amount)
+
+    def update_many(self, items: Iterable[Tuple[Key, int]]) -> int:
+        """Count a batch of ``(key, amount)`` pairs; returns keys counted."""
+        count = 0
+        for key, amount in items:
+            self.update(key, amount)
+            count += 1
+        return count
+
+    def estimate(self, key: Key) -> int:
+        """Local count-min estimate (minimum across rows)."""
+        return int(
+            min(
+                self.cells[row, self._cell_index(key, row)]
+                for row in range(self.rows)
+            )
+        )
+
+    def total_count(self) -> int:
+        """Sum of all increments (read off row 0, which sees every one)."""
+        return int(self.cells[0].sum())
+
+    def clear(self) -> None:
+        """Zero every register (after a merge flushes the sketch out)."""
+        self.cells[:] = 0
+
+    def compatible_with(self, store: CounterStore) -> bool:
+        """Whether this sketch addresses cells exactly like ``store``."""
+        return (
+            store.cells_per_row == self.cells_per_row
+            and store.rows == self.rows
+            and store._family == self.family
+        )
+
+
+class SketchStore(CounterStore):
+    """A collector bank that switch sketches merge into over the wire.
+
+    Everything a :class:`~repro.collector.counters.CounterStore` is --
+    same region layout, FETCH_ADD write path, count-min reads -- plus the
+    Sketch-Merge entry point: :meth:`merge_sketch` lowers a compatible
+    :class:`SwitchSketch` through the translator, so merged counts arrive
+    as real frames and reconcile against the NIC/fabric counters.
+    """
+
+    def merge_sketch(self, sketch: SwitchSketch) -> int:
+        """Fold a switch sketch into this bank; returns frames offered.
+
+        One FETCH_ADD per non-zero sketch cell.  The sketch itself is
+        left untouched (callers typically :meth:`SwitchSketch.clear`
+        after a successful merge).
+        """
+        if not sketch.compatible_with(self):
+            raise ValueError("sketch is not mergeable (shape/seed differ)")
+        return self.merger().merge(sketch.cells)

@@ -1,0 +1,89 @@
+"""Closed-form accuracy models for the DTA primitives (section-4 style).
+
+The paper's section 4 prices KeyWrite's queryability in closed form; this
+module does the same for the other primitives, so tests can assert the
+measured behaviour of the simulated datapath against predicted values:
+
+- **Append**: a record is unreadable at recovery time if its slot was
+  lapped by newer appends (deterministic, overwrite-oldest) or if its
+  record WRITE was lost on the request leg (the tail reservation is
+  retried until acknowledged, so reservations are never lost -- a lost
+  WRITE leaves a reserved-but-stale slot).
+- **Key-Increment / Sketch-Merge**: the standard count-min bound -- with
+  width ``w`` and depth ``d``, an estimate exceeds the true count by more
+  than ``(e / w) * total`` with probability at most ``e ** -d``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+def ring_overwritten_fraction(appends: int, capacity: int) -> float:
+    """Fraction of all appends no longer readable because they were lapped.
+
+    With ``appends`` total records through a ring of ``capacity`` slots,
+    exactly ``max(0, appends - capacity)`` of them have been overwritten.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if appends < 0:
+        raise ValueError("appends must be non-negative")
+    if appends == 0:
+        return 0.0
+    return max(0, appends - capacity) / appends
+
+
+def ring_loss_probability(appends: int, capacity: int, loss: float) -> float:
+    """Probability a uniformly chosen append is unreadable at recovery.
+
+    A record survives iff it is still in the readable window (the last
+    ``min(appends, capacity)`` appends) *and* its WRITE was delivered
+    (probability ``1 - loss``); lapped records are lost with certainty.
+    """
+    if not 0.0 <= loss <= 1.0:
+        raise ValueError("loss must be in [0, 1]")
+    if appends == 0:
+        return 0.0
+    window = min(appends, capacity) / appends
+    return 1.0 - window * (1.0 - loss)
+
+
+def expected_readable_records(appends: int, capacity: int, loss: float) -> float:
+    """Expected number of recoverable records after ``appends`` appends."""
+    return appends * (1.0 - ring_loss_probability(appends, capacity, loss))
+
+
+def count_min_bounds(cells_per_row: int, rows: int) -> tuple:
+    """The count-min guarantee ``(epsilon, delta)`` for a bank shape.
+
+    ``epsilon = e / cells_per_row`` and ``delta = e ** -rows``: each
+    estimate exceeds the true count by more than ``epsilon * total`` with
+    probability at most ``delta``.
+    """
+    if cells_per_row < 1 or rows < 1:
+        raise ValueError("cells_per_row and rows must be >= 1")
+    return math.e / cells_per_row, math.exp(-rows)
+
+
+def count_min_violation_rate(
+    truth: Mapping, estimates: Mapping, total: int, epsilon: float
+) -> float:
+    """Measured fraction of keys whose estimate error exceeds the bound.
+
+    ``truth`` maps keys to exact counts, ``estimates`` to the sketch's
+    answers; a key violates the bound when
+    ``estimate - truth > epsilon * total``.  The count-min guarantee says
+    this fraction should not exceed ``delta`` (in expectation over the
+    hash draw).
+    """
+    if not truth:
+        return 0.0
+    budget = epsilon * total
+    violations = sum(
+        1
+        for key, exact in truth.items()
+        if estimates[key] - exact > budget
+    )
+    return violations / len(truth)

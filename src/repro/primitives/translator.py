@@ -1,0 +1,661 @@
+"""Switch-side verb translators: DTA primitives lowered to RoCEv2 verbs.
+
+The DTA follow-up paper defines four collection primitives; a "translator"
+is the switch-resident logic that lowers each one onto verbs a plain RNIC
+already executes, so the collector stays zero-CPU:
+
+- **Key-Increment** lowers to one RC FETCH_ADD per count-min row
+  (:class:`KeyIncrementTranslator`), targeting the collector's counter
+  bank.
+- **Sketch-Merge** lowers a whole switch-resident sketch to a bank of
+  FETCH_ADDs -- one per non-zero cell -- into collector sketch memory
+  (:class:`SketchMergeTranslator`); atomic adds commute, so merges from
+  many switches interleave safely.
+- **Append** lowers to a FETCH_ADD on a shared tail pointer (multi-writer
+  slot reservation via the returned original value) followed by RDMA
+  WRITEs into the reserved ring slots (:class:`AppendTranslator`).
+
+Batched entry points encode whole FETCH_ADD / WRITE batches as pooled
+frame matrices (template + patch, vectorised iCRC) and hand them to the
+fabric's ``send_batch`` seam; scalar entry points craft byte-identical
+frames one at a time, so equivalence suites can diff the two paths.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.fabric.fabric import Fabric
+from repro.hashing.hash_family import HashFamily, Key, fold_keys
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.rdma.frames import (
+    ATOMIC_ETH_OFF,
+    ATOMIC_FRAME_BYTES,
+    FrameBatch,
+    FramePool,
+    OVERHEAD_BYTES,
+    PAYLOAD_OFF,
+    RETH_OFF,
+    icrc_rows,
+    write_be32,
+    write_be64,
+    write_le32,
+)
+from repro.rdma.packets import (
+    AtomicEth,
+    Bth,
+    Opcode,
+    PacketDecodeError,
+    Reth,
+    RoceV2Packet,
+)
+from repro.rdma.qp import PSN_MODULUS
+
+#: Hash-family member base reserved for counter/sketch rows (shared with
+#: :class:`~repro.collector.counters.CounterStore` so switch-side and
+#: collector-side addressing agree bit for bit).
+COUNTER_FUNCTION_BASE = 0x20000000
+
+#: BTH PSN column offset within a frame row.
+_PSN_OFF = 50
+#: AtomicETH operand (swap_add) column offset.
+_ATOMIC_ADD_OFF = ATOMIC_ETH_OFF + 12
+
+
+class AppendReserveError(RuntimeError):
+    """An Append tail reservation got no response within its retry budget."""
+
+
+class ResponseDemux:
+    """Buckets polled response frames by destination QP.
+
+    ``Fabric.poll`` drains *every* queued response for an endpoint, so two
+    translators polling the same collector would steal each other's atomic
+    ACKs.  All requesters sharing an endpoint share one demux instead:
+    :meth:`poll` drains the fabric once and files each decodable response
+    under its BTH destination QP; :meth:`take` hands a requester exactly
+    its own inbox.
+    """
+
+    def __init__(self) -> None:
+        self._inboxes: Dict[int, List[RoceV2Packet]] = {}
+
+    def __repr__(self) -> str:
+        pending = sum(len(inbox) for inbox in self._inboxes.values())
+        return f"ResponseDemux(pending={pending})"
+
+    def poll(self, fabric: Fabric, endpoint_id: int) -> int:
+        """Drain ``endpoint_id``'s responses into per-QP inboxes.
+
+        Returns the number of frames filed; undecodable frames are
+        dropped (the response leg is modelled lossless, so this only
+        fires on foreign traffic).
+        """
+        filed = 0
+        for frame in fabric.poll(endpoint_id):
+            try:
+                packet = RoceV2Packet.unpack(frame)
+            except PacketDecodeError:
+                continue
+            self._inboxes.setdefault(packet.bth.dest_qp, []).append(packet)
+            filed += 1
+        return filed
+
+    def take(self, qp_number: int) -> List[RoceV2Packet]:
+        """Remove and return every buffered response addressed to a QP."""
+        return self._inboxes.pop(qp_number, [])
+
+
+class PrimitiveTranslator:
+    """Shared switch-side state for one primitive's verb lowering.
+
+    Owns the requester-side PSN counter, a frame pool for columnar
+    encodes, a cached FETCH_ADD frame template, and the per-primitive
+    latency histogram.  Subclasses implement one DTA primitive each.
+
+    Parameters
+    ----------
+    fabric:
+        The transport lowered verbs traverse.
+    endpoint_id:
+        Fabric endpoint of the target collector NIC.
+    qp_number:
+        Destination QP stamped into every request BTH.
+    rkey:
+        Remote key of the collector memory region.
+    psn:
+        Initial PSN (advertised by the control plane at bring-up).
+    """
+
+    #: Primitive name, used as the latency histogram's stage label.
+    kind = "primitive"
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        endpoint_id: int,
+        qp_number: int,
+        *,
+        rkey: int,
+        psn: int = 0,
+    ) -> None:
+        self.fabric = fabric
+        self.endpoint_id = endpoint_id
+        self.qp_number = qp_number
+        self.rkey = rkey
+        self._psn = psn % PSN_MODULUS
+        self._pool = FramePool()
+        registry = obs.get_registry()
+        self._registry = registry
+        self._labels = registry.instance_labels(type(self).__name__)
+        self._h_seconds = registry.histogram(
+            "stage_seconds",
+            LATENCY_BUCKETS,
+            labels={"stage": f"primitive_{self.kind}"},
+            help="wall-clock seconds per batched primitive operation",
+        )
+        self._atomic_template: Optional[np.ndarray] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(endpoint={self.endpoint_id}, "
+            f"qp={self.qp_number:#x}, psn={self._psn})"
+        )
+
+    @property
+    def psn(self) -> int:
+        """The next PSN this translator will stamp."""
+        return self._psn
+
+    def _next_psn(self) -> int:
+        """Allocate one PSN (24-bit wrap)."""
+        psn = self._psn
+        self._psn = (psn + 1) % PSN_MODULUS
+        return psn
+
+    def _psn_sequence(self, count: int) -> np.ndarray:
+        """Allocate ``count`` consecutive PSNs as a wrapped uint32 array."""
+        start = self._psn
+        self._psn = (start + count) % PSN_MODULUS
+        psns = (start + np.arange(count, dtype=np.int64)) % PSN_MODULUS
+        return psns.astype(np.uint32)
+
+    def craft_fetch_add(
+        self, address: int, amount: int, psn: Optional[int] = None
+    ) -> bytes:
+        """One scalar FETCH_ADD frame (the per-operation reference path)."""
+        if psn is None:
+            psn = self._next_psn()
+        packet = RoceV2Packet(
+            bth=Bth(
+                opcode=int(Opcode.RC_FETCH_ADD),
+                dest_qp=self.qp_number,
+                psn=psn,
+            ),
+            atomic_eth=AtomicEth(
+                virtual_address=address, rkey=self.rkey, swap_add=amount
+            ),
+        )
+        return packet.pack()
+
+    def _fetch_add_template(self) -> np.ndarray:
+        """The constant bytes of this translator's FETCH_ADD frames.
+
+        Crafted once through the scalar packer (so batch frames stay
+        byte-identical to scalar ones) with the per-frame fields -- VA,
+        operand, PSN, iCRC -- left zero for patching.
+        """
+        if self._atomic_template is None:
+            frame = self.craft_fetch_add(0, 0, psn=0)
+            self._atomic_template = np.frombuffer(frame, dtype=np.uint8)
+        return self._atomic_template
+
+    def _encode_fetch_add_batch(
+        self, addresses: np.ndarray, amounts: np.ndarray
+    ) -> FrameBatch:
+        """Encode a FETCH_ADD batch as one pooled frame matrix.
+
+        Template + patch: broadcast the cached scalar template across the
+        batch, then write the virtual-address, operand and PSN columns and
+        the vectorised iCRC.  Row ``i`` is byte-identical to
+        :meth:`craft_fetch_add` on the same operands.
+        """
+        count = len(addresses)
+        lease, frames = self._pool.acquire(count, ATOMIC_FRAME_BYTES)
+        frames[:] = self._fetch_add_template()
+        write_be64(frames, ATOMIC_ETH_OFF, np.asarray(addresses, np.uint64))
+        write_be64(frames, _ATOMIC_ADD_OFF, np.asarray(amounts, np.uint64))
+        write_be32(frames, _PSN_OFF, self._psn_sequence(count))
+        write_le32(frames, ATOMIC_FRAME_BYTES - 4, icrc_rows(frames))
+        endpoint_ids = np.full(count, self.endpoint_id, dtype=np.int64)
+        return FrameBatch(frames, endpoint_ids, lease)
+
+
+class KeyIncrementTranslator(PrimitiveTranslator):
+    """Key-Increment: per-key counters via FETCH_ADD into a count-min bank.
+
+    Each key hashes to one cell per row of the collector's counter bank;
+    counting a key lowers to ``rows`` FETCH_ADDs.  This is the switch half
+    of :class:`~repro.collector.counters.CounterStore`, promoted out of
+    the store so the same lowering can target any fabric endpoint.
+
+    Parameters
+    ----------
+    base_address / cells_per_row / rows / family:
+        Geometry and hash family of the target counter bank; must match
+        the collector side exactly (the store's constructor wires this).
+    """
+
+    kind = "key_increment"
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        endpoint_id: int,
+        qp_number: int,
+        *,
+        base_address: int,
+        rkey: int,
+        cells_per_row: int,
+        rows: int,
+        family: HashFamily,
+        psn: int = 0,
+    ) -> None:
+        super().__init__(fabric, endpoint_id, qp_number, rkey=rkey, psn=psn)
+        self.base_address = base_address
+        self.cells_per_row = cells_per_row
+        self.rows = rows
+        self.family = family
+        #: Keys incremented (an increment spans ``rows`` frames).
+        self.c_increments = self._registry.counter(
+            "increments_total", labels=self._labels
+        )
+
+    def cell_address(self, key: Key, row: int) -> int:
+        """Virtual address of ``key``'s cell in ``row`` of the bank."""
+        index = self.family.hash_key_mod(
+            key, COUNTER_FUNCTION_BASE + row, self.cells_per_row
+        )
+        return self.base_address + (row * self.cells_per_row + index) * 8
+
+    def craft_add_frames(self, key: Key, amount: int = 1) -> List[bytes]:
+        """The FETCH_ADD frames a switch emits to count ``key``.
+
+        One frame per count-min row; zero-amount adds are a no-op and
+        craft nothing (no frames, no PSNs burned).
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if amount == 0:
+            return []
+        frames = []
+        for row in range(self.rows):
+            frames.append(
+                self.craft_fetch_add(self.cell_address(key, row), amount)
+            )
+        return frames
+
+    def increment(self, key: Key, amount: int = 1) -> int:
+        """Count ``key`` once through the scalar frame path.
+
+        Returns the number of frames offered to the fabric (0 for a
+        zero-amount no-op, ``rows`` otherwise).
+        """
+        frames = self.craft_add_frames(key, amount)
+        if not frames:
+            return 0
+        for frame in frames:
+            self.fabric.send(self.endpoint_id, frame)
+        self.c_increments.inc()
+        return len(frames)
+
+    def increment_many(self, items: Iterable[Tuple[Key, int]]) -> int:
+        """Batched counting through the columnar FETCH_ADD path.
+
+        Folds every key once, derives all ``keys x rows`` cell addresses
+        with the vectorised hash family (bit-identical to the scalar
+        addressing), encodes one pooled frame batch and offers it through
+        ``send_batch`` (then flushes).  Frame emission order matches the
+        scalar path: all rows of item 0, then item 1, ...  Zero-amount
+        items are skipped.  Returns the number of frames offered.
+        """
+        timed = self._h_seconds.enabled
+        if timed:
+            started = perf_counter()
+        keys: List[Key] = []
+        amounts: List[int] = []
+        for key, amount in items:
+            if amount < 0:
+                raise ValueError("amount must be non-negative")
+            if amount == 0:
+                continue
+            keys.append(key)
+            amounts.append(amount)
+        if not keys:
+            return 0
+        rows, cells = self.rows, self.cells_per_row
+        folded = fold_keys(keys)
+        cell_numbers = np.empty((len(keys), rows), dtype=np.uint64)
+        for row in range(rows):
+            indexes = self.family.hash_folded_array(
+                folded, COUNTER_FUNCTION_BASE + row
+            ) % np.uint64(cells)
+            cell_numbers[:, row] = np.uint64(row * cells) + indexes
+        addresses = (
+            np.uint64(self.base_address) + cell_numbers.reshape(-1) * np.uint64(8)
+        )
+        operands = np.repeat(np.asarray(amounts, dtype=np.uint64), rows)
+        batch = self._encode_fetch_add_batch(addresses, operands)
+        offered = batch.count
+        self.fabric.send_batch(batch)
+        self.fabric.flush()
+        self.c_increments.inc(len(keys))
+        if timed:
+            self._h_seconds.observe(perf_counter() - started)
+        return offered
+
+
+class SketchMergeTranslator(PrimitiveTranslator):
+    """Sketch-Merge: fold a switch-resident sketch into collector memory.
+
+    Lowers every non-zero cell of a count-min matrix to one FETCH_ADD
+    into the corresponding cell of the collector bank.  Because the adds
+    are atomic and commutative, merges from many switches -- and live
+    Key-Increment traffic -- interleave without coordination: this is the
+    paper's "network-wide aggregation of sketches" on the wire.
+
+    Parameters
+    ----------
+    base_address:
+        Base virtual address of the target bank; cell ``i`` of the
+        flattened ``rows x cells`` matrix lands at ``base + 8 * i``.
+    """
+
+    kind = "sketch_merge"
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        endpoint_id: int,
+        qp_number: int,
+        *,
+        base_address: int,
+        rkey: int,
+        psn: int = 0,
+    ) -> None:
+        super().__init__(fabric, endpoint_id, qp_number, rkey=rkey, psn=psn)
+        self.base_address = base_address
+        #: Whole-sketch merges performed.
+        self.c_merges = self._registry.counter(
+            "merges_total", labels=self._labels
+        )
+        #: Non-zero cells carried across all merges.
+        self.c_merge_cells = self._registry.counter(
+            "merge_cells_total", labels=self._labels
+        )
+
+    def _nonzero_cells(self, cells) -> Tuple[np.ndarray, np.ndarray]:
+        """Flatten a cell matrix to (addresses, addends) of non-zero cells."""
+        flat = np.asarray(cells, dtype=np.uint64).reshape(-1)
+        indexes = np.flatnonzero(flat)
+        addresses = (
+            np.uint64(self.base_address)
+            + indexes.astype(np.uint64) * np.uint64(8)
+        )
+        return addresses, flat[indexes]
+
+    def merge(self, cells) -> int:
+        """Merge a cell matrix through the columnar FETCH_ADD path.
+
+        ``cells`` is any array-like of uint64 addends (typically a
+        ``rows x cells`` count-min matrix); zero cells cost nothing on
+        the wire.  Returns the number of frames offered.
+        """
+        timed = self._h_seconds.enabled
+        if timed:
+            started = perf_counter()
+        addresses, addends = self._nonzero_cells(cells)
+        offered = len(addresses)
+        if offered:
+            batch = self._encode_fetch_add_batch(addresses, addends)
+            self.fabric.send_batch(batch)
+            self.fabric.flush()
+        self.c_merges.inc()
+        self.c_merge_cells.inc(offered)
+        if timed:
+            self._h_seconds.observe(perf_counter() - started)
+        return offered
+
+    def merge_scalar(self, cells) -> int:
+        """Merge via one scalar FETCH_ADD frame per non-zero cell.
+
+        The per-operation reference path: byte-identical frames to
+        :meth:`merge`, offered one ``send`` at a time.  Kept for the
+        equivalence suite and the benchmark baseline.
+        """
+        addresses, addends = self._nonzero_cells(cells)
+        for address, addend in zip(addresses.tolist(), addends.tolist()):
+            self.fabric.send(
+                self.endpoint_id, self.craft_fetch_add(address, addend)
+            )
+        self.fabric.flush()
+        self.c_merges.inc()
+        self.c_merge_cells.inc(len(addresses))
+        return len(addresses)
+
+
+class AppendTranslator(PrimitiveTranslator):
+    """Append: multi-writer ring-buffer inserts, two verbs per batch.
+
+    A batch of ``n`` records lowers to (1) one FETCH_ADD on the ring's
+    shared tail pointer, whose ATOMIC ACKNOWLEDGE carries the original
+    tail -- reserving slots ``[tail, tail + n)`` for this writer alone --
+    and (2) ``n`` RDMA WRITEs into the reserved slots modulo the ring
+    capacity.  Concurrent writers interleave safely because reservation
+    is a single atomic; older records are overwritten once the absolute
+    index laps the capacity (overwrite-oldest semantics).
+
+    The reservation is the one round-trip in the DTA primitive set: a
+    lost FETCH_ADD gets no response and is retried with a fresh PSN
+    (safe -- the response leg is lossless in this model, so no response
+    means the add never executed).
+
+    Parameters
+    ----------
+    tail_address / data_address:
+        Virtual addresses of the 8-byte tail pointer and of ring slot 0.
+    capacity / record_bytes:
+        Ring geometry; records shorter than ``record_bytes`` are
+        zero-padded.
+    demux:
+        The :class:`ResponseDemux` shared by every requester polling this
+        collector endpoint.
+    writer_id:
+        Diagnostic identity of this writer (one translator per writer).
+    max_retries:
+        Reservation retries before :class:`AppendReserveError`.
+    """
+
+    kind = "append"
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        endpoint_id: int,
+        qp_number: int,
+        *,
+        tail_address: int,
+        data_address: int,
+        capacity: int,
+        record_bytes: int,
+        rkey: int,
+        demux: ResponseDemux,
+        writer_id: int = 0,
+        psn: int = 0,
+        max_retries: int = 16,
+    ) -> None:
+        super().__init__(fabric, endpoint_id, qp_number, rkey=rkey, psn=psn)
+        self.tail_address = tail_address
+        self.data_address = data_address
+        self.capacity = capacity
+        self.record_bytes = record_bytes
+        self.demux = demux
+        self.writer_id = writer_id
+        self.max_retries = max_retries
+        #: Records appended (reservation succeeded and WRITEs offered).
+        self.c_appends = self._registry.counter(
+            "appends_total", labels=self._labels
+        )
+        #: Reserved slots that lapped the ring and overwrote older records.
+        self.c_overwrites = self._registry.counter(
+            "ring_overwrites_total", labels=self._labels
+        )
+        #: Tail reservations re-sent after a lost FETCH_ADD.
+        self.c_reserve_retries = self._registry.counter(
+            "append_reserve_retries", labels=self._labels
+        )
+        self._write_template: Optional[np.ndarray] = None
+
+    @property
+    def frame_width(self) -> int:
+        """Wire bytes of one record WRITE frame."""
+        return OVERHEAD_BYTES + self.record_bytes
+
+    def _pad(self, value: bytes) -> bytes:
+        """Zero-pad ``value`` to the fixed record width (validating size)."""
+        if len(value) > self.record_bytes:
+            raise ValueError(
+                f"record of {len(value)} bytes exceeds record_bytes="
+                f"{self.record_bytes}"
+            )
+        return value.ljust(self.record_bytes, b"\x00")
+
+    def craft_record_write(self, slot: int, value: bytes) -> bytes:
+        """One scalar WRITE frame landing ``value`` in ring ``slot``."""
+        packet = RoceV2Packet(
+            bth=Bth(
+                opcode=int(Opcode.RC_RDMA_WRITE_ONLY),
+                dest_qp=self.qp_number,
+                psn=self._next_psn(),
+            ),
+            reth=Reth(
+                virtual_address=self.data_address + slot * self.record_bytes,
+                rkey=self.rkey,
+                dma_length=self.record_bytes,
+            ),
+            payload=self._pad(value),
+        )
+        return packet.pack()
+
+    def _record_write_template(self) -> np.ndarray:
+        """Constant bytes of a record WRITE frame (VA/PSN/payload zeroed)."""
+        if self._write_template is None:
+            packet = RoceV2Packet(
+                bth=Bth(
+                    opcode=int(Opcode.RC_RDMA_WRITE_ONLY),
+                    dest_qp=self.qp_number,
+                    psn=0,
+                ),
+                reth=Reth(
+                    virtual_address=0,
+                    rkey=self.rkey,
+                    dma_length=self.record_bytes,
+                ),
+                payload=b"\x00" * self.record_bytes,
+            )
+            self._write_template = np.frombuffer(packet.pack(), dtype=np.uint8)
+        return self._write_template
+
+    def _account_overwrites(self, start: int, count: int) -> None:
+        """Count reserved slots whose absolute index laps the capacity."""
+        overwritten = (start + count) - max(start, self.capacity)
+        if overwritten > 0:
+            self.c_overwrites.inc(overwritten)
+
+    def _reserve(self, count: int) -> int:
+        """FETCH_ADD the shared tail by ``count``; return the old tail.
+
+        Sends the reservation, polls the shared demux for this writer's
+        ATOMIC ACKNOWLEDGE (matched by PSN), and retries with a fresh PSN
+        when the request was lost in the fabric.  Stale responses --
+        e.g. from an earlier duplicated request -- are discarded by the
+        PSN match.
+        """
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.c_reserve_retries.inc()
+            psn = self._next_psn()
+            frame = self.craft_fetch_add(self.tail_address, count, psn=psn)
+            self.fabric.send(self.endpoint_id, frame)
+            self.demux.poll(self.fabric, self.endpoint_id)
+            for response in self.demux.take(self.qp_number):
+                if (
+                    response.bth.opcode == int(Opcode.RC_ATOMIC_ACKNOWLEDGE)
+                    and response.bth.psn == psn
+                    and len(response.payload) >= 8
+                ):
+                    return int.from_bytes(response.payload[:8], "big")
+        raise AppendReserveError(
+            f"writer {self.writer_id}: tail reservation got no response "
+            f"after {self.max_retries + 1} attempts"
+        )
+
+    def append(self, value: bytes) -> int:
+        """Append one record through the scalar frame path.
+
+        Returns the record's absolute ring index (monotonic across the
+        ring's life; ``index % capacity`` is its slot).
+        """
+        padded = self._pad(value)
+        start = self._reserve(1)
+        self._account_overwrites(start, 1)
+        frame = self.craft_record_write(start % self.capacity, padded)
+        self.fabric.send(self.endpoint_id, frame)
+        self.fabric.flush()
+        self.c_appends.inc()
+        return start
+
+    def append_many(self, values: Iterable[bytes]) -> Optional[int]:
+        """Append a batch of records: one reservation, columnar WRITEs.
+
+        Reserves ``len(values)`` slots with a single tail FETCH_ADD, then
+        encodes all record WRITEs as one pooled frame matrix (template +
+        patch, vectorised iCRC) offered through ``send_batch``.  Returns
+        the first record's absolute ring index, or ``None`` for an empty
+        batch.
+        """
+        padded = [self._pad(value) for value in values]
+        count = len(padded)
+        if count == 0:
+            return None
+        timed = self._h_seconds.enabled
+        if timed:
+            started = perf_counter()
+        start = self._reserve(count)
+        self._account_overwrites(start, count)
+        slots = (
+            np.uint64(start) + np.arange(count, dtype=np.uint64)
+        ) % np.uint64(self.capacity)
+        addresses = (
+            np.uint64(self.data_address) + slots * np.uint64(self.record_bytes)
+        )
+        width = self.frame_width
+        lease, frames = self._pool.acquire(count, width)
+        frames[:] = self._record_write_template()
+        write_be64(frames, RETH_OFF, addresses)
+        payload_view = frames[:, PAYLOAD_OFF : PAYLOAD_OFF + self.record_bytes]
+        for index, record in enumerate(padded):
+            payload_view[index] = np.frombuffer(record, dtype=np.uint8)
+        write_be32(frames, _PSN_OFF, self._psn_sequence(count))
+        write_le32(frames, width - 4, icrc_rows(frames))
+        endpoint_ids = np.full(count, self.endpoint_id, dtype=np.int64)
+        self.fabric.send_batch(FrameBatch(frames, endpoint_ids, lease))
+        self.fabric.flush()
+        self.c_appends.inc(count)
+        if timed:
+            self._h_seconds.observe(perf_counter() - started)
+        return start

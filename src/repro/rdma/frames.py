@@ -38,6 +38,12 @@ PAYLOAD_OFF = 70
 #: Bytes of a report frame that are not payload (headers + trailing iCRC).
 OVERHEAD_BYTES = PAYLOAD_OFF + 4
 
+#: Atomic (FETCH_ADD / CMP_SWAP) frames swap the RETH for a 28-byte
+#: AtomicETH at the same offset and carry no payload, so their width is a
+#: constant: headers(54) + AtomicETH(28) + iCRC(4).
+ATOMIC_ETH_OFF = 54
+ATOMIC_FRAME_BYTES = ATOMIC_ETH_OFF + 28 + 4
+
 #: Columns of the masked iCRC image that the RoCEv2 annex forces to 0xFF
 #: (DSCP/ECN, TTL, IPv4 checksum, UDP checksum, BTH resv8a), relative to
 #: the image layout: 8 prefix bytes then frame[14:-4].

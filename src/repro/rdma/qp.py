@@ -75,6 +75,11 @@ class QueuePair:
     peer_qp: Optional[int] = None
     #: Responder message sequence number, stamped into AETH headers.
     msn: int = 0
+    #: Whether executed atomics produce an ATOMIC ACKNOWLEDGE response
+    #: carrying the original value.  Off by default: DART's fire-and-forget
+    #: counter updates never read the response, but the Append primitive's
+    #: tail reservation depends on it.
+    respond_atomics: bool = False
     accepted: int = 0
     duplicates_dropped: int = 0
     gaps_observed: int = 0

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.mem",
     "repro.network",
     "repro.obs",
+    "repro.primitives",
     "repro.rdma",
     "repro.switch",
     "repro.switch.p4",

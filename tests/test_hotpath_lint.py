@@ -10,7 +10,8 @@ with the offending ``file:line`` in the message.
 
 Scalar reference paths (``report_into``, ``receive_frame``, ...) are
 exempt: the rule applies only to functions whose names mark them as part
-of the batch datapath (``*batch*`` / ``*columnar*``).
+of the batch datapath (``*batch*`` / ``*columnar*`` / ``*_many``, the
+naming convention the primitive translators' batched entry points use).
 """
 
 import ast
@@ -30,6 +31,10 @@ HOT_PATH_MODULES = [
     SRC / "mem" / "region.py",
     SRC / "collector" / "collector.py",
     SRC / "collector" / "store.py",
+    SRC / "collector" / "counters.py",
+    SRC / "primitives" / "translator.py",
+    SRC / "primitives" / "append.py",
+    SRC / "primitives" / "sketch.py",
 ]
 
 #: Per-report object constructors and codecs.  Constructing any of these
@@ -63,7 +68,9 @@ def _batch_functions(tree: ast.AST):
     """Every (async) function whose name marks it as batch-datapath code."""
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
-            "batch" in node.name or "columnar" in node.name
+            "batch" in node.name
+            or "columnar" in node.name
+            or node.name.endswith("_many")
         ):
             yield node
 

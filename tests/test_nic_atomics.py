@@ -1,0 +1,130 @@
+"""Atomic ACKs and the vectorised FETCH_ADD batch path in the RNIC."""
+
+import numpy as np
+import pytest
+
+from repro.mem.region import MemoryRegion, RegionAccessError
+from repro.rdma.frames import FrameBatch
+from repro.rdma.nic import RdmaNic
+from repro.rdma.packets import AtomicEth, Bth, Opcode, RoceV2Packet
+from repro.rdma.qp import PsnPolicy, QueuePair
+
+
+def _nic(qp_number=0x11, respond_atomics=False, policy=PsnPolicy.RESYNC_ON_GAP):
+    region = MemoryRegion(size=256, base_address=0x10000, rkey=0x42)
+    nic = RdmaNic(region)
+    nic.create_queue_pair(
+        QueuePair(
+            qp_number=qp_number, policy=policy, respond_atomics=respond_atomics
+        )
+    )
+    return nic, region
+
+
+def _fetch_add(va, amount, psn, dest_qp=0x11, rkey=0x42):
+    return RoceV2Packet(
+        bth=Bth(opcode=int(Opcode.RC_FETCH_ADD), dest_qp=dest_qp, psn=psn),
+        atomic_eth=AtomicEth(virtual_address=va, rkey=rkey, swap_add=amount),
+    ).pack()
+
+
+class TestAtomicAcknowledge:
+    def test_ack_carries_original_value(self):
+        nic, region = _nic(respond_atomics=True)
+        region.dma_write(0x10000, (7).to_bytes(8, "big"))
+        assert nic.receive_frame(_fetch_add(0x10000, 5, psn=0))
+        responses = nic.transmit()
+        assert len(responses) == 1
+        ack = RoceV2Packet.unpack(responses[0])
+        assert ack.bth.opcode == int(Opcode.RC_ATOMIC_ACKNOWLEDGE)
+        assert ack.bth.psn == 0  # echoes the request PSN
+        assert ack.bth.dest_qp == 0x11  # back to the requester QP
+        assert int.from_bytes(ack.payload[:8], "big") == 7  # pre-add value
+        assert int.from_bytes(region.dma_read(0x10000, 8), "big") == 12
+
+    def test_acks_are_opt_in(self):
+        """Legacy QPs (respond_atomics=False) stay silent."""
+        nic, _ = _nic(respond_atomics=False)
+        assert nic.receive_frame(_fetch_add(0x10000, 5, psn=0))
+        assert nic.transmit() == []
+
+    def test_duplicate_fetch_add_not_reexecuted_or_reacked(self):
+        """RESYNC_ON_GAP dedup: a duplicated reservation cannot double-add."""
+        nic, region = _nic(respond_atomics=True)
+        frame = _fetch_add(0x10000, 5, psn=0)
+        assert nic.receive_frame(frame)
+        assert not nic.receive_frame(frame)  # exact duplicate PSN dropped
+        assert int.from_bytes(region.dma_read(0x10000, 8), "big") == 5
+        assert len(nic.transmit()) == 1
+
+
+class TestVectorisedFetchAdds:
+    def _batch(self, operations, dest_qp=0x11):
+        frames = np.stack(
+            [
+                np.frombuffer(
+                    _fetch_add(va, amount, psn, dest_qp=dest_qp), dtype=np.uint8
+                )
+                for psn, (va, amount) in enumerate(operations)
+            ]
+        )
+        return FrameBatch(frames, np.zeros(len(operations), dtype=np.int64))
+
+    def test_batch_matches_scalar_ingest(self):
+        operations = [(0x10000 + 8 * (i % 4), 1 + i) for i in range(12)]
+        batch_nic, batch_region = _nic()
+        scalar_nic, scalar_region = _nic()
+        assert batch_nic.ingest_batch(self._batch(operations)) == 12
+        for psn, (va, amount) in enumerate(operations):
+            scalar_nic.receive_frame(_fetch_add(va, amount, psn))
+        assert batch_region.read_offset(0, 64) == scalar_region.read_offset(0, 64)
+        assert batch_nic.counters.atomics_executed == 12
+        assert batch_region.atomic_count == scalar_region.atomic_count
+
+    def test_batch_falls_back_to_scalar_for_acking_qps(self):
+        """Responding QPs still get their ACKs when frames arrive batched."""
+        nic, region = _nic(respond_atomics=True)
+        operations = [(0x10000, 3), (0x10008, 4)]
+        assert nic.ingest_batch(self._batch(operations)) == 2
+        acks = [RoceV2Packet.unpack(f) for f in nic.transmit()]
+        assert [a.bth.psn for a in acks] == [0, 1]
+        assert int.from_bytes(region.dma_read(0x10000, 8), "big") == 3
+
+
+class TestDmaFetchAddMany:
+    def test_duplicates_accumulate_in_order(self):
+        region = MemoryRegion(size=64, base_address=0, rkey=0x1)
+        addresses = np.array([0, 8, 0, 0], dtype=np.uint64)
+        addends = np.array([7, 2, 1, 3], dtype=np.uint64)
+        region.dma_fetch_add_many(addresses, addends, rkey=0x1)
+        cells = np.frombuffer(region.read_offset(0, 16), dtype=">u8")
+        assert cells.tolist() == [11, 2]
+        assert region.atomic_count == 4
+
+    def test_wraps_modulo_2_64(self):
+        region = MemoryRegion(size=8, base_address=0, rkey=0x1)
+        region.dma_write(0, (2**64 - 1).to_bytes(8, "big"))
+        region.dma_fetch_add_many(
+            np.array([0], dtype=np.uint64), np.array([2], dtype=np.uint64)
+        )
+        assert int.from_bytes(region.dma_read(0, 8), "big") == 1
+
+    def test_whole_batch_validated_before_any_write(self):
+        region = MemoryRegion(size=16, base_address=0, rkey=0x1)
+        with pytest.raises(RegionAccessError):
+            region.dma_fetch_add_many(
+                np.array([0, 999], dtype=np.uint64),  # second is out of bounds
+                np.array([1, 1], dtype=np.uint64),
+            )
+        assert region.dma_read(0, 8) == b"\x00" * 8  # nothing landed
+        with pytest.raises(RegionAccessError):
+            region.dma_fetch_add_many(
+                np.array([4], dtype=np.uint64),  # misaligned
+                np.array([1], dtype=np.uint64),
+            )
+        with pytest.raises(RegionAccessError):
+            region.dma_fetch_add_many(
+                np.array([0], dtype=np.uint64),
+                np.array([1], dtype=np.uint64),
+                rkey=0xBAD,
+            )
