@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-obs-timeseries bench-control bench-fabric-columnar bench-primitives experiments experiments-full examples lint ci all
+.PHONY: install test bench bench-obs bench-obs-timeseries bench-obs-fleet bench-control bench-fabric-columnar bench-primitives experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -19,7 +19,7 @@ lint:
 	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-ci: lint bench-obs bench-obs-timeseries bench-control bench-fabric-columnar bench-primitives
+ci: lint bench-obs bench-obs-timeseries bench-obs-fleet bench-control bench-fabric-columnar bench-primitives
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
@@ -35,6 +35,12 @@ bench-obs:
 # benchmarks/BENCH_obs_timeseries.json).
 bench-obs-timeseries:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_timeseries.py -q
+
+# Self-telemetry gate: exporting our own counter deltas and journal
+# events over the DTA datapath must cost at most 10% on the columnar
+# report path (writes benchmarks/BENCH_obs_fleet.json).
+bench-obs-fleet:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_fleet.py -q
 
 # Fleet-controller gate: a collector crashed under an impaired fabric
 # must fail over within bounded ticks and bounded reports lost (writes

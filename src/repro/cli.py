@@ -10,10 +10,13 @@ Operator-facing entry points over the library:
 - ``experiments`` -- regenerate every paper exhibit (see
   :mod:`repro.experiments.__main__`);
 - ``obs`` -- run an instrumented packet-level pipeline and inspect it:
-  ``snapshot`` (one health dashboard / exposition), ``watch`` (per-tick
-  dashboard re-renders with sparkline trends), ``alerts`` (the SLO engine
-  incl. paper-model conformance rules) and ``profile`` (wall-clock stage
-  profile, optionally exported as a Chrome ``trace_event`` file);
+  ``snapshot`` (one health dashboard / exposition, ``--node`` filters to
+  one host), ``watch`` (per-tick dashboard re-renders with sparkline
+  trends), ``alerts`` (the SLO engine incl. paper-model conformance
+  rules), ``profile`` (wall-clock stage profile, optionally exported as
+  a Chrome ``trace_event`` file), ``fleet`` (per-node fleet dashboard
+  plus the self-telemetry exporter's one-sided read-back) and ``bundle``
+  (dump a postmortem debug bundle: metrics, journal tail, alert states);
 - ``control`` -- failover demo: run the packet-level pipeline with a
   standby collector, crash one collector mid-run and watch the fleet
   controller detect the failure, re-provision every switch and converge;
@@ -141,16 +144,18 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.fabric.impaired import ImpairedFabric
 
     mode = args.mode
-    # A fresh registry/tracer/profiler so the run covers exactly this
-    # pipeline; the previous defaults are restored before returning.
+    # A fresh registry/tracer/profiler/journal so the run covers exactly
+    # this pipeline; the previous defaults are restored before returning.
     registry = obs.MetricsRegistry(enabled=True)
     tracer = obs.Tracer()
+    journal = obs.EventJournal()
     profiler = (
         obs.StageProfiler(registry) if mode == "profile" else obs.NULL_PROFILER
     )
     previous_registry = obs.set_registry(registry)
     previous_tracer = obs.set_tracer(tracer)
     previous_profiler = obs.set_profiler(profiler)
+    previous_journal = obs.set_journal(journal)
     try:
         config = DartConfig(
             slots_per_collector=args.slots,
@@ -169,6 +174,19 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         engine = obs.SloEngine(scraper, registry)
         engine.add_rules(obs.default_rules())
         engine.add_rules(obs.conformance_rules(config))
+        exporter = None
+        if mode == "fleet":
+            # Dogfood: export this run's own counters/journal through the
+            # DTA datapath and read them back one-sided at the end.
+            exporter = obs.SelfTelemetryExporter(registry, journal).attach(
+                scraper
+            )
+        bundler = None
+        if mode == "bundle":
+            bundler = obs.AutoBundler(
+                args.bundle_dir, registry=registry, journal=journal,
+                engine=engine,
+            ).install(engine)
 
         def trends() -> str:
             """Sparkline per-tick deltas of the headline families."""
@@ -206,6 +224,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             for key in chunk:
                 store.get(key)
                 store.get(key, policy=ReturnPolicy.FIRST_MATCH)
+            journal.advance(tick)
             scraper.scrape(tick)
             engine.evaluate(tick)
             if mode == "watch":
@@ -222,13 +241,60 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             if args.chrome_trace:
                 profiler.write_chrome_trace(args.chrome_trace)
                 print(f"chrome trace written to {args.chrome_trace}")
+        elif mode == "fleet":
+            exporter.flush(tick=rounds)
+            snapshot = registry.snapshot()
+            if args.node:
+                snapshot = snapshot.filter_labels(node=args.node)
+            print(obs.render_fleet(snapshot))
+            print()
+            print("== self-telemetry (read back one-sided) ==")
+            rows = []
+            for name in (
+                "nic_frames_received",
+                "mem_writes",
+                "queries_total",
+            ):
+                pair = exporter.reconcile([name])[name]
+                remote = (
+                    "lost" if pair["remote"] is None else pair["remote"]
+                )
+                rows.append(
+                    {"family": name, "local": pair["local"], "remote": remote}
+                )
+            print(format_table(rows))
+            events = exporter.follow_events()
+            print(
+                f"journal: {len(events)} event(s) tailed from the "
+                f"telemetry ring"
+            )
+        elif mode == "bundle":
+            path = bundler.dump(reason="cli", tick=rounds)
+            auto = [p for p in bundler.paths[:-1]]
+            if auto:
+                print(f"{len(auto)} alert-triggered bundle(s):")
+                for p in auto:
+                    print(f"  {p}")
+            print(f"bundle written to {path}")
+            print()
+            print("== journal tail ==")
+            print(journal.render())
         elif mode == "snapshot":
+            snapshot = registry.snapshot()
+            if args.node:
+                snapshot = snapshot.filter_labels(node=args.node)
             if args.format == "prom":
-                print(registry.to_prometheus(), end="")
+                print(snapshot.to_prometheus(), end="")
             elif args.format == "json":
-                print(registry.to_json(indent=2))
+                print(snapshot.to_json(indent=2))
+            elif args.node:
+                print(obs.render_dashboard(registry, node=args.node))
             else:
                 print(obs.render_dashboard(registry))
+                nodes = snapshot.label_values(obs.NODE_LABEL)
+                if nodes:
+                    print()
+                    print(obs.render_fleet(snapshot))
         if args.trace:
             print()
             print(f"== first {args.trace} report traces ==")
@@ -239,6 +305,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         obs.set_registry(previous_registry)
         obs.set_tracer(previous_tracer)
         obs.set_profiler(previous_profiler)
+        obs.set_journal(previous_journal)
 
 
 def _cmd_control(args: argparse.Namespace) -> int:
@@ -511,11 +578,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_p.add_argument(
         "mode", nargs="?",
-        choices=["snapshot", "watch", "alerts", "profile"],
+        choices=["snapshot", "watch", "alerts", "profile", "fleet", "bundle"],
         default="snapshot",
-        help="snapshot: one dashboard; watch: per-tick re-renders with "
-             "sparklines; alerts: the SLO/conformance engine; profile: "
-             "wall-clock stage profile",
+        help="snapshot: one dashboard (+ per-node fleet table); watch: "
+             "per-tick re-renders with sparklines; alerts: the "
+             "SLO/conformance engine; profile: wall-clock stage profile; "
+             "fleet: per-node fleet dashboard with self-telemetry "
+             "read-back; bundle: dump a postmortem debug bundle",
+    )
+    obs_p.add_argument(
+        "--node", default=None, metavar="NODE",
+        help="restrict output to one node's samples, e.g. collector-0 "
+             "or switch-0",
+    )
+    obs_p.add_argument(
+        "--bundle-dir", default="bundles", metavar="DIR",
+        help="bundle mode: directory postmortem bundles are written to",
     )
     obs_p.add_argument("--keys", type=int, default=2000)
     obs_p.add_argument("--slots", type=int, default=4096)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.config import DartConfig
 from repro.fabric.fabric import Fabric
 from repro.mem.region import MemoryRegion
@@ -93,21 +94,25 @@ class Collector:
         self.alive = True
         self._psn_policy = psn_policy
         self._codec = config.slot_codec()
-        self.region = MemoryRegion(
-            size=config.region_bytes,
-            base_address=base_address,
-            rkey=0x1000 + collector_id,
-        )
-        octet_hi, octet_lo = divmod(collector_id % 65025, 255)
-        self.nic = RdmaNic(
-            self.region,
-            mac=f"02:da:47:00:{octet_hi:02x}:{octet_lo:02x}",
-            ip=f"10.{(collector_id >> 16) & 0xFF}.{(collector_id >> 8) & 0xFF}."
-            f"{collector_id & 0xFF}",
-        )
-        self.qp = self.nic.create_queue_pair(
-            QueuePair(qp_number=0x100 + collector_id, policy=psn_policy)
-        )
+        # Everything this host builds captures its metrics under a
+        # ``node="collector-<id>"`` label, so fleet views can attribute
+        # region/NIC/QP counters to the owning host.
+        with obs.get_registry().node_scope(f"collector-{collector_id}"):
+            self.region = MemoryRegion(
+                size=config.region_bytes,
+                base_address=base_address,
+                rkey=0x1000 + collector_id,
+            )
+            octet_hi, octet_lo = divmod(collector_id % 65025, 255)
+            self.nic = RdmaNic(
+                self.region,
+                mac=f"02:da:47:00:{octet_hi:02x}:{octet_lo:02x}",
+                ip=f"10.{(collector_id >> 16) & 0xFF}."
+                f"{(collector_id >> 8) & 0xFF}.{collector_id & 0xFF}",
+            )
+            self.qp = self.nic.create_queue_pair(
+                QueuePair(qp_number=0x100 + collector_id, policy=psn_policy)
+            )
 
     def __repr__(self) -> str:
         return (
@@ -129,9 +134,10 @@ class Collector:
         existing = self.nic.queue_pair(qp_number)
         if existing is not None:
             return existing
-        return self.nic.create_queue_pair(
-            QueuePair(qp_number=qp_number, policy=self._psn_policy)
-        )
+        with obs.get_registry().node_scope(f"collector-{self.collector_id}"):
+            return self.nic.create_queue_pair(
+                QueuePair(qp_number=qp_number, policy=self._psn_policy)
+            )
 
     @property
     def endpoint(self) -> CollectorEndpoint:

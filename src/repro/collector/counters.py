@@ -75,7 +75,9 @@ class CounterStore:
     fabric:
         The transport FETCH_ADD frames traverse; defaults to a private
         :class:`~repro.fabric.InlineFabric`.  The counter NIC is attached
-        at endpoint :data:`COUNTER_ENDPOINT_ID`.
+        at endpoint ``endpoint_id`` (:data:`COUNTER_ENDPOINT_ID` by
+        default; pass another to share a fabric with other stores, as the
+        self-telemetry exporter does with its Append ring).
     """
 
     def __init__(
@@ -85,6 +87,7 @@ class CounterStore:
         config: Optional[DartConfig] = None,
         base_address: int = 0x200000,
         fabric: Optional[Fabric] = None,
+        endpoint_id: int = COUNTER_ENDPOINT_ID,
     ) -> None:
         if cells_per_row < 1:
             raise ValueError(f"cells_per_row must be >= 1, got {cells_per_row}")
@@ -93,7 +96,7 @@ class CounterStore:
         self.cells_per_row = cells_per_row
         self.rows = rows
         #: Fabric endpoint this bank's NIC is attached at.
-        self.endpoint_id = COUNTER_ENDPOINT_ID
+        self.endpoint_id = endpoint_id
         seed = config.seed if config is not None else 0
         self._family = HashFamily(seed=seed)
         self.region = MemoryRegion(
@@ -107,13 +110,13 @@ class CounterStore:
             QueuePair(qp_number=MERGE_QP_NUMBER, policy=PsnPolicy.IGNORE)
         )
         self.fabric = fabric if fabric is not None else InlineFabric()
-        self.fabric.attach(COUNTER_ENDPOINT_ID, self.nic)
+        self.fabric.attach(self.endpoint_id, self.nic)
         #: Shared response router for query clients on this endpoint.
         self.demux = ResponseDemux()
         #: The switch-side Key-Increment lowering bound to this bank.
         self.translator = KeyIncrementTranslator(
             self.fabric,
-            COUNTER_ENDPOINT_ID,
+            self.endpoint_id,
             self.qp.qp_number,
             base_address=self.region.base_address,
             rkey=self.region.rkey,
@@ -261,7 +264,7 @@ class CounterStore:
         if self._merger is None:
             self._merger = SketchMergeTranslator(
                 self.fabric,
-                COUNTER_ENDPOINT_ID,
+                self.endpoint_id,
                 self.merge_qp.qp_number,
                 base_address=self.region.base_address,
                 rkey=self.region.rkey,

@@ -237,9 +237,17 @@ class FleetController:
         """Advance the table version (rotating real epochs when managed)."""
         if self.epoch_manager is not None:
             self.epoch_manager.rotate()
-            return self.epoch_manager.current_epoch
-        self.epoch += 1
-        return self.epoch
+            epoch = self.epoch_manager.current_epoch
+        else:
+            self.epoch += 1
+            epoch = self.epoch
+        obs.get_journal().record(
+            "epoch_bump",
+            f"table version advanced to epoch {epoch}",
+            tick=self.ticks,
+            epoch=epoch,
+        )
+        return epoch
 
     def _handover(
         self, role: int, suspected_at: Optional[int], drained: bool
@@ -254,6 +262,16 @@ class FleetController:
             membership=self.membership,
         )
         apply_plan(plan, self.control_plane, self.control_plane.switches)
+        obs.get_journal().record(
+            "plan_apply",
+            f"role {role}: node {plan.failed_node_id} -> "
+            f"node {plan.target_node_id} at epoch {epoch}",
+            tick=self.ticks,
+            role=role,
+            failed=plan.failed_node_id,
+            target=plan.target_node_id,
+            epoch=epoch,
+        )
         # Only after every switch accepted the plan does routing move: the
         # cluster's role map, then the fabric endpoint.
         target = self.cluster.node(plan.target_node_id)
@@ -276,6 +294,14 @@ class FleetController:
             drained=drained,
         )
         self.events.append(event)
+        obs.get_journal().record(
+            "drain" if drained else "failover",
+            event.describe(),
+            tick=self.ticks,
+            role=role,
+            target=plan.target_node_id,
+            epoch=epoch,
+        )
         self._publish_state()
         return event
 
@@ -303,4 +329,10 @@ class FleetController:
         """
         self.cluster.readmit(node_id)
         self.membership.record_readmission(node_id)
+        obs.get_journal().record(
+            "rejoin",
+            f"node {node_id} readmitted as standby",
+            tick=self.ticks,
+            node=node_id,
+        )
         self._publish_state()

@@ -225,6 +225,7 @@ class FailureDetector:
         corroborated = self.corroboration()
         threshold = self.effective_threshold(corroborated)
         newly_failed: List[Member] = []
+        journal = obs.get_journal()
         for member in self.membership.members:
             if member.state is MemberState.FAILED:
                 continue
@@ -233,10 +234,27 @@ class FailureDetector:
             if ok:
                 self.membership.mark_alive(member.node_id)
                 continue
+            if member.missed_probes == 1:
+                # Journal the *start* of a miss streak, not every miss --
+                # the postmortem wants the first symptom, not N repeats.
+                journal.record(
+                    "probe_failure",
+                    f"node {member.node_id} missed its liveness probe",
+                    tick=tick,
+                    node=member.node_id,
+                )
             if member.missed_probes >= threshold:
                 if member.state is not MemberState.DRAINED:
                     self.membership.mark_failed(member.node_id)
                     newly_failed.append(member)
+                    journal.record(
+                        "member_failed",
+                        f"node {member.node_id} confirmed dead after "
+                        f"{member.missed_probes} missed probe(s)",
+                        tick=tick,
+                        node=member.node_id,
+                        corroborated=corroborated,
+                    )
             else:
                 self.membership.mark_suspect(member.node_id)
         return newly_failed

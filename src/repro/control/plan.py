@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.collector.collector import Collector, CollectorCluster, CollectorEndpoint
 from repro.control.membership import FleetMembership, MemberState
 from repro.switch.control_plane import SwitchControlPlane
@@ -157,7 +158,15 @@ def apply_plan(
                 epoch=update.epoch,
             )
             applied.append((switch, previous))
-    except Exception:
+    except Exception as error:
+        obs.get_journal().record(
+            "plan_rollback",
+            f"{plan.describe()} rolled back after {len(applied)} "
+            f"update(s): {error}",
+            role=plan.role,
+            epoch=plan.epoch,
+            applied=len(applied),
+        )
         for switch, previous in reversed(applied):
             switch.collector_table.remove_entry((plan.role,))
             if previous is not None:

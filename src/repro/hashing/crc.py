@@ -16,6 +16,7 @@ check values ("123456789" vectors from the CRC catalogue).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -126,6 +127,25 @@ class CrcAlgorithm:
         if not (self.width == 32 and self.reflect_in and self.reflect_out):
             return np.fromiter(
                 (self.compute(row.tobytes()) for row in rows),
+                dtype=np.uint32,
+                count=len(rows),
+            )
+        if (
+            self.poly == 0x04C11DB7
+            and self.init == 0xFFFFFFFF
+            and self.xor_out == 0xFFFFFFFF
+        ):
+            # This parameterisation *is* zlib's CRC-32; one C call per row
+            # beats the position-wise numpy loop at every batch size (the
+            # loop's cost is ~width numpy dispatches regardless of rows).
+            data = np.ascontiguousarray(rows).tobytes()
+            width = rows.shape[1]
+            crc32_c = zlib.crc32
+            return np.fromiter(
+                (
+                    crc32_c(data[start:start + width])
+                    for start in range(0, len(data), width)
+                ),
                 dtype=np.uint32,
                 count=len(rows),
             )

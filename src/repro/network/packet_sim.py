@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.client import DartQueryClient
 from repro.core.config import DartConfig
 from repro.collector.collector import CollectorCluster
@@ -172,6 +173,7 @@ class PacketLevelIntNetwork:
                 # None = deferred by a buffered fabric; count the frame as
                 # in flight, it executes at the next flush.
                 executed += 1
+        obs.get_journal().advance(self.packets_sent)
         if self.scraper is not None:
             self.scraper.maybe_scrape(self.packets_sent)
         if self.controller is not None:

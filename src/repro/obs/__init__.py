@@ -26,6 +26,14 @@ no-op metrics (``MetricsRegistry(enabled=False)``); the ``bench-obs`` and
 
 from __future__ import annotations
 
+from repro.obs.bundle import AutoBundler, build_bundle
+from repro.obs.fleet import (
+    NODE_LABEL,
+    FleetRegistry,
+    fleet_rows,
+    merge_snapshots,
+    render_fleet,
+)
 from repro.obs.health import (
     PipelineHealth,
     QueryHealth,
@@ -48,7 +56,16 @@ from repro.obs.metrics import (
     NullGauge,
     NullHistogram,
 )
+from repro.obs.journal import (
+    NULL_JOURNAL,
+    EventJournal,
+    JournalEvent,
+    NullJournal,
+    decode_event,
+    encode_event,
+)
 from repro.obs.profile import NULL_PROFILER, NullProfiler, StageProfiler, StageStats
+from repro.obs.selftel import SelfTelemetryExporter
 from repro.obs.slo import (
     Alert,
     AlertState,
@@ -80,6 +97,8 @@ _registry: MetricsRegistry = MetricsRegistry(enabled=True)
 _tracer = NULL_TRACER
 #: The process-wide default stage profiler (profiling off).
 _profiler = NULL_PROFILER
+#: The process-wide default flight-recorder journal (journalling off).
+_journal = NULL_JOURNAL
 
 
 def get_registry() -> MetricsRegistry:
@@ -131,9 +150,43 @@ def set_profiler(profiler) -> object:
     return previous
 
 
+def get_journal():
+    """The flight-recorder journal control-plane events land in by default."""
+    return _journal
+
+
+def set_journal(journal) -> object:
+    """Install ``journal`` as the process default; returns the previous one.
+
+    Unlike the registry, the journal is looked up *at record time* (event
+    rates are control-plane, not datapath), so installing an
+    :class:`EventJournal` mid-run starts capturing immediately.
+    """
+    global _journal
+    previous = _journal
+    _journal = journal
+    return previous
+
+
 __all__ = [
     "Alert",
     "AlertState",
+    "AutoBundler",
+    "FleetRegistry",
+    "NODE_LABEL",
+    "build_bundle",
+    "fleet_rows",
+    "merge_snapshots",
+    "render_fleet",
+    "SelfTelemetryExporter",
+    "EventJournal",
+    "JournalEvent",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "decode_event",
+    "encode_event",
+    "get_journal",
+    "set_journal",
     "Counter",
     "EVICTED_TRACE",
     "MetricsScraper",

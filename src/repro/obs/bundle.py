@@ -1,0 +1,219 @@
+"""Postmortem debug bundles: everything an incident review needs, one file.
+
+When an SLO fires at 3am, the operator wants one artifact: the metrics at
+the moment of the alert, the flight-recorder tail leading up to it, every
+alert's state, and the fleet's membership/epoch history.  This module
+assembles exactly that:
+
+- :func:`build_bundle` -- one JSON-serialisable dict with a ``reason``,
+  the (per-node grouped) metrics snapshot, the journal tail, alert
+  states with their full transition history, and the controller's
+  membership table + failover/epoch history when one is wired in;
+- :class:`AutoBundler` -- writes bundles to a directory on demand
+  (``repro obs bundle`` / :meth:`AutoBundler.dump`) and *automatically*
+  when an :class:`~repro.obs.slo.SloEngine` alert transitions to firing
+  (:meth:`AutoBundler.install` registers a fire hook), with a cap so a
+  flapping rule cannot fill the disk.
+
+Bundles are plain JSON so they diff, archive and attach to tickets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.obs.fleet import NODE_LABEL, fleet_rows
+from repro.obs.health import PipelineHealth
+from repro.obs.metrics import MetricsRegistry
+
+#: Journal events included in a bundle (the tail; older events are in
+#: the telemetry ring if the self-telemetry exporter is running).
+JOURNAL_TAIL = 256
+
+
+def _alert_rows(engine) -> List[dict]:
+    """Every alert's state, value and transition history."""
+    rows = []
+    for alert in engine.alerts():
+        rows.append(
+            {
+                "rule": alert.rule.name,
+                "description": alert.rule.description,
+                "state": alert.state.value,
+                "value": alert.value,
+                "threshold": alert.rule.threshold,
+                "comparator": alert.rule.comparator,
+                "for_ticks": alert.rule.for_ticks,
+                "fired_at": alert.fired_at,
+                "pending_since": alert.pending_since,
+                "transitions": [
+                    {"tick": tick, "state": state.value}
+                    for tick, state in alert.transitions
+                ],
+            }
+        )
+    return rows
+
+
+def _membership_rows(controller) -> dict:
+    """The controller's member table plus its failover/epoch history."""
+    return {
+        "epoch": controller.current_epoch,
+        "ticks": controller.ticks,
+        "unserved_roles": list(controller.unserved_roles),
+        "members": [
+            {
+                "node": member.node_id,
+                "state": member.state.value,
+                "role": member.role,
+                "missed_probes": member.missed_probes,
+                "failures": member.failures,
+            }
+            for member in controller.membership.members
+        ],
+        "failovers": [
+            {
+                "tick": event.tick,
+                "role": event.role,
+                "failed_node": event.failed_node_id,
+                "target_node": event.target_node_id,
+                "epoch": event.epoch,
+                "convergence_ticks": event.convergence_ticks,
+                "drained": event.drained,
+            }
+            for event in controller.events
+        ],
+    }
+
+
+def build_bundle(
+    reason: str = "on-demand",
+    registry: Optional[MetricsRegistry] = None,
+    journal=None,
+    engine=None,
+    controller=None,
+    tick: Optional[int] = None,
+) -> dict:
+    """Assemble one postmortem bundle as a JSON-serialisable dict.
+
+    Only the pieces that are wired in appear: ``engine`` adds the alert
+    table, ``controller`` the membership/epoch history.  ``registry`` and
+    ``journal`` default to the process-wide ones.
+    """
+    # Imported lazily: repro.obs re-exports this module at package import.
+    from repro import obs
+
+    if registry is None:
+        registry = obs.get_registry()
+    if journal is None:
+        journal = obs.get_journal()
+    snapshot = registry.snapshot()
+    bundle: Dict[str, object] = {
+        "reason": reason,
+        "tick": tick if tick is not None else journal.tick,
+        "health": PipelineHealth.from_snapshot(snapshot).to_dict(),
+        "nodes": snapshot.label_values(NODE_LABEL),
+        "fleet": fleet_rows(snapshot),
+        "metrics": json.loads(snapshot.to_json()),
+        "journal": {
+            "retained": len(journal),
+            "recorded": journal.next_seq,
+            "overwritten": journal.overwritten,
+            "events": [event.to_row() for event in journal.tail(JOURNAL_TAIL)],
+        },
+    }
+    if engine is not None:
+        bundle["alerts"] = _alert_rows(engine)
+    if controller is not None:
+        bundle["membership"] = _membership_rows(controller)
+    return bundle
+
+
+class AutoBundler:
+    """Dumps postmortem bundles to disk, on demand and on firing alerts.
+
+    Parameters
+    ----------
+    directory:
+        Where bundle files land (created if missing).
+    registry / journal / engine / controller:
+        The sources :func:`build_bundle` reads; registry and journal
+        default to the process-wide ones at dump time.
+    max_bundles:
+        Automatic dumps stop after this many files (manual
+        :meth:`dump` calls always write) -- a flapping rule must not
+        fill the disk with near-identical bundles.
+    """
+
+    def __init__(
+        self,
+        directory,
+        registry: Optional[MetricsRegistry] = None,
+        journal=None,
+        engine=None,
+        controller=None,
+        max_bundles: int = 16,
+    ) -> None:
+        self.directory = str(directory)
+        self.registry = registry
+        self.journal = journal
+        self.engine = engine
+        self.controller = controller
+        self.max_bundles = max_bundles
+        self._seq = 0
+        #: Paths written, in order (the E2E test reads the last one).
+        self.paths: List[str] = []
+
+    def __repr__(self) -> str:
+        return f"AutoBundler(directory={self.directory!r}, written={self._seq})"
+
+    def install(self, engine) -> "AutoBundler":
+        """Register on ``engine`` so newly firing alerts dump automatically."""
+        self.engine = engine
+        engine.add_fire_hook(self._on_fire)
+        return self
+
+    def _on_fire(self, alert, tick: int) -> None:
+        if self._seq >= self.max_bundles:
+            return
+        self.dump(reason=f"alert:{alert.rule.name}", tick=tick)
+
+    def dump(
+        self, reason: str = "on-demand", tick: Optional[int] = None
+    ) -> str:
+        """Write one bundle file; returns its path.
+
+        Also journals a ``bundle`` event, so the *next* bundle (and the
+        telemetry ring) records that this one was taken.
+        """
+        bundle = build_bundle(
+            reason=reason,
+            registry=self.registry,
+            journal=self.journal,
+            engine=self.engine,
+            controller=self.controller,
+            tick=tick,
+        )
+        os.makedirs(self.directory, exist_ok=True)
+        slug = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+        )
+        path = os.path.join(
+            self.directory, f"bundle-{self._seq:04d}-{slug}.json"
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2)
+            handle.write("\n")
+        self._seq += 1
+        self.paths.append(path)
+        # Imported lazily: repro.obs re-exports this module at import time.
+        from repro import obs
+
+        journal = self.journal if self.journal is not None else obs.get_journal()
+        journal.record(
+            "bundle", f"postmortem bundle written: {reason}", tick=tick,
+            path=path,
+        )
+        return path

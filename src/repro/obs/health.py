@@ -20,9 +20,9 @@ snapshot the ``repro obs`` CLI prints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry, MetricsSnapshot
 
 
 def _rate(numerator: float, denominator: float) -> float:
@@ -130,7 +130,18 @@ class PipelineHealth:
     @classmethod
     def from_registry(cls, registry: MetricsRegistry) -> "PipelineHealth":
         """Reconcile one health reading from a registry's live series."""
-        total = registry.total
+        return cls.from_snapshot(registry.snapshot())
+
+    @classmethod
+    def from_snapshot(cls, snapshot: MetricsSnapshot) -> "PipelineHealth":
+        """Reconcile one health reading from an immutable snapshot.
+
+        Lets the fleet dashboard derive *per-node* health from
+        :meth:`MetricsSnapshot.filter_labels` sub-snapshots -- including
+        snapshots shipped from another process -- with exactly the
+        reconciliation rules the live reading uses.
+        """
+        total = snapshot.total
         impairment_offered = int(total("fabric_frames_offered", kind="ImpairedFabric"))
         offered = int(total("fabric_frames_offered"))
         if impairment_offered == 0:
@@ -142,16 +153,21 @@ class PipelineHealth:
         queries = []
         answered_by_policy: Dict[str, int] = {}
         total_by_policy: Dict[str, int] = {}
-        for labels, metric in registry.samples("queries_total"):
-            policy = labels.get("policy", "?")
-            total_by_policy[policy] = (
-                total_by_policy.get(policy, 0) + int(metric.value)
-            )
-        for labels, metric in registry.samples("queries_answered"):
-            policy = labels.get("policy", "?")
-            answered_by_policy[policy] = (
-                answered_by_policy.get(policy, 0) + int(metric.value)
-            )
+        for (name, labels), (kind, value) in snapshot.samples.items():
+            if kind == "histogram" or name not in (
+                "queries_total",
+                "queries_answered",
+            ):
+                continue
+            policy = dict(labels).get("policy", "?")
+            if name == "queries_total":
+                total_by_policy[policy] = (
+                    total_by_policy.get(policy, 0) + int(value)
+                )
+            else:
+                answered_by_policy[policy] = (
+                    answered_by_policy.get(policy, 0) + int(value)
+                )
         for policy in sorted(total_by_policy):
             queries.append(
                 QueryHealth(
@@ -244,11 +260,25 @@ def _merged_stage_histograms(registry: MetricsRegistry) -> List[Tuple[str, Histo
     return out
 
 
-def render_dashboard(registry: MetricsRegistry) -> str:
-    """The operator-facing health snapshot the ``repro obs`` CLI prints."""
-    health = PipelineHealth.from_registry(registry)
+def render_dashboard(
+    registry: MetricsRegistry, node: Optional[str] = None
+) -> str:
+    """The operator-facing health snapshot the ``repro obs`` CLI prints.
+
+    With ``node`` the dashboard covers only samples carrying that
+    ``node=...`` label (one host's or switch's share of the pipeline);
+    stage latency histograms are process-wide and are omitted then.
+    """
+    if node is not None:
+        snapshot = registry.snapshot().filter_labels(node=node)
+        health = PipelineHealth.from_snapshot(snapshot)
+    else:
+        health = PipelineHealth.from_registry(registry)
     lines: List[str] = []
-    lines.append("== pipeline health ==")
+    header = "== pipeline health ==" if node is None else (
+        f"== pipeline health [node={node}] =="
+    )
+    lines.append(header)
     lines.append(
         f"frames offered        {health.frames_offered:>10}  "
         f"(at impairment layer: {health.impairment_offered})"
@@ -293,7 +323,9 @@ def render_dashboard(registry: MetricsRegistry) -> str:
     )
     lines.append(f"slot overwrite rate   {health.slot_overwrite_rate:>10.4f}")
 
-    stage_histograms = _merged_stage_histograms(registry)
+    stage_histograms = [] if node is not None else (
+        _merged_stage_histograms(registry)
+    )
     if stage_histograms:
         lines.append("")
         lines.append("== per-stage latency (seconds) ==")
@@ -318,7 +350,9 @@ def render_dashboard(registry: MetricsRegistry) -> str:
     else:
         lines.append("(no queries executed)")
 
-    depth_hwm = registry.total("fabric_queue_depth_hwm")
+    depth_hwm = (
+        0 if node is not None else registry.total("fabric_queue_depth_hwm")
+    )
     if depth_hwm:
         lines.append("")
         lines.append("== fabric queues ==")

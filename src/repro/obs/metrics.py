@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 from bisect import bisect_left
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 #: A label set: sorted tuple of (key, value) pairs.  Hashable, so it can
@@ -391,6 +392,41 @@ class MetricsSnapshot:
                 out += value
         return out
 
+    def filter_labels(self, **label_filters: str) -> "MetricsSnapshot":
+        """The sub-snapshot whose samples carry all the given label values.
+
+        ``snapshot.filter_labels(node="collector-0")`` keeps exactly the
+        series labelled with that node -- the per-node view the fleet
+        dashboard and the ``repro obs --node`` filter render.  Help texts
+        are carried through for the surviving families.
+        """
+        samples = {
+            (name, labels): entry
+            for (name, labels), entry in self.samples.items()
+            if all(
+                dict(labels).get(key) == value
+                for key, value in label_filters.items()
+            )
+        }
+        names = {name for name, _labels in samples}
+        help_texts = {
+            name: text
+            for name, text in self.help_texts.items()
+            if name in names
+        }
+        return MetricsSnapshot(samples, help_texts=help_texts)
+
+    def label_values(self, label: str) -> List[str]:
+        """Every distinct value of ``label`` across the samples, sorted."""
+        return sorted(
+            {
+                value
+                for (_name, labels) in self.samples
+                for key, value in labels
+                if key == label
+            }
+        )
+
     def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
         """This snapshot minus ``earlier`` (a measurement window).
 
@@ -534,6 +570,9 @@ class MetricsRegistry:
         #: name -> {labels -> metric}
         self._series: Dict[str, Dict[Labels, Metric]] = {}
         self._instance_seq = 0
+        #: Fleet node the registry currently attributes new instances to;
+        #: see :meth:`node_scope`.
+        self.node: Optional[str] = None
 
     def __repr__(self) -> str:
         series = sum(len(v) for v in self._series.values())
@@ -594,9 +633,38 @@ class MetricsRegistry:
         Components that need private series (each fabric's counters, each
         NIC's drop breakdown) call this once at construction; aggregate
         views recover totals with :meth:`total` filtered by ``kind``.
+
+        Inside a :meth:`node_scope` block the set additionally carries
+        ``node=<node>``, namespacing every series the component creates to
+        its fleet node (the tuple stays sorted: instance < kind < node).
         """
         self._instance_seq += 1
-        return (("instance", str(self._instance_seq)), ("kind", kind))
+        labels = (("instance", str(self._instance_seq)), ("kind", kind))
+        if self.node is not None:
+            labels = labels + (("node", str(self.node)),)
+        return labels
+
+    @contextmanager
+    def node_scope(self, node: str):
+        """Attribute components built inside the block to fleet node ``node``.
+
+        Components capture their labels at construction via
+        :meth:`instance_labels`, so wrapping construction is enough::
+
+            with registry.node_scope("collector-3"):
+                collector = Collector(config, collector_id=3)
+
+        Every series the collector's NIC, memory region and stores create
+        now carries ``node="collector-3"``; :class:`FleetRegistry` and the
+        ``repro obs fleet`` dashboard group on that label.  Scopes nest
+        (inner wins) and always restore the previous node on exit.
+        """
+        previous = self.node
+        self.node = node
+        try:
+            yield self
+        finally:
+            self.node = previous
 
     # ------------------------------------------------------------------
     # Aggregation and introspection

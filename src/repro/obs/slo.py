@@ -231,6 +231,7 @@ class SloEngine:
         self.registry = registry if registry is not None else scraper.registry
         self.window = window
         self._alerts: "Dict[str, Alert]" = {}
+        self._fire_hooks: List[Callable[[Alert, int], None]] = []
         self.evaluations = 0
         self._g_firing = self.registry.gauge(
             "alerts_firing", help="SLO rules currently in the firing state"
@@ -262,6 +263,17 @@ class SloEngine:
         for rule in rules:
             self.add_rule(rule)
 
+    def add_fire_hook(self, hook: Callable[[Alert, int], None]) -> None:
+        """Call ``hook(alert, tick)`` whenever an alert transitions to firing.
+
+        The auto-postmortem seam: :class:`~repro.obs.bundle.AutoBundler`
+        registers here so a firing SLO dumps a debug bundle the moment it
+        happens, with the journal tail still warm.  Hooks run after the
+        whole evaluation round (gauges already updated), once per ok/
+        pending->firing edge -- not on every firing evaluation.
+        """
+        self._fire_hooks.append(hook)
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -281,9 +293,26 @@ class SloEngine:
             tick=tick,
             window=self.window,
         )
+        # Imported lazily: repro.obs re-exports this module at import time.
+        from repro import obs
+
+        journal = obs.get_journal()
+        newly_firing: List[Alert] = []
         for alert in self._alerts.values():
+            previous = alert.state
             value = alert.rule.evaluate(context)
             alert.observe(tick, value, alert.rule.breached(value))
+            if alert.state is not previous:
+                journal.record(
+                    "slo_alert",
+                    f"{alert.rule.name}: {previous.value} -> {alert.state.value}",
+                    tick=tick,
+                    rule=alert.rule.name,
+                    state=alert.state.value,
+                    value="n/a" if alert.value is None else f"{alert.value:.6g}",
+                )
+                if alert.state is AlertState.FIRING:
+                    newly_firing.append(alert)
         self.evaluations += 1
         self._g_firing.set(float(len(self.firing())))
         self._g_pending.set(
@@ -295,6 +324,9 @@ class SloEngine:
                 )
             )
         )
+        for alert in newly_firing:
+            for hook in self._fire_hooks:
+                hook(alert, tick)
         return self.alerts()
 
     # ------------------------------------------------------------------

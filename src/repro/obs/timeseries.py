@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import (
     Labels,
@@ -242,6 +242,7 @@ class MetricsScraper:
         self.scrapes = 0
         self.last_tick: Optional[int] = None
         self._series: Dict[Tuple[str, Labels], Series] = {}
+        self._observers: List[Callable[[int, MetricsSnapshot], None]] = []
 
     def __repr__(self) -> str:
         return (
@@ -291,7 +292,20 @@ class MetricsScraper:
         self.last_tick = tick
         if self.persist_path is not None:
             self._persist(tick, snapshot)
+        for observer in self._observers:
+            observer(tick, snapshot)
         return snapshot
+
+    def add_observer(
+        self, observer: Callable[[int, MetricsSnapshot], None]
+    ) -> None:
+        """Call ``observer(tick, snapshot)`` after every scrape.
+
+        The hook the :class:`~repro.obs.selftel.SelfTelemetryExporter`
+        rides: exports happen exactly at scrape cadence, on the driver's
+        logical clock, with the same snapshot the series rings received.
+        """
+        self._observers.append(observer)
 
     def _persist(self, tick: int, snapshot: MetricsSnapshot) -> None:
         """Append one JSON line for this scrape (histograms flattened)."""
@@ -382,28 +396,48 @@ def load_jsonl(path) -> List[dict]:
     return rows
 
 
-def _final_totals(rows: List[dict]) -> Dict[str, float]:
+def _final_totals(
+    rows: List[dict], group_label: Optional[str] = None
+) -> Dict[str, float]:
     """Family-wide totals (counters/gauges summed over labels) of a run's
-    last scrape; histograms contribute their observation counts."""
+    last scrape; histograms contribute their observation counts.
+
+    With ``group_label`` (e.g. ``"node"``) totals are kept separate per
+    label value, keyed Prometheus-style: ``name{node="collector-0"}``;
+    samples missing the label fall under ``name`` unchanged.
+    """
     if not rows:
         return {}
     totals: Dict[str, float] = {}
     for sample in rows[-1]["samples"]:
         value = sample["count"] if sample["kind"] == "histogram" else sample["value"]
-        totals[sample["name"]] = totals.get(sample["name"], 0.0) + float(value)
+        key = sample["name"]
+        if group_label is not None:
+            group = sample.get("labels", {}).get(group_label)
+            if group is not None:
+                key = f'{key}{{{group_label}="{group}"}}'
+        totals[key] = totals.get(key, 0.0) + float(value)
     return totals
 
 
-def trend_diff(run_a: List[dict], run_b: List[dict]) -> Dict[str, dict]:
+def trend_diff(
+    run_a: List[dict],
+    run_b: List[dict],
+    group_label: Optional[str] = None,
+) -> Dict[str, dict]:
     """Compare the final totals of two persisted runs, name by name.
 
     Returns ``{name: {"a": ..., "b": ..., "delta": b - a}}`` for every
     metric family either run recorded -- the cross-run regression view
     (did loss go up between yesterday's run and today's?).  Families
     absent from one run read as 0.0 there.
+
+    ``group_label="node"`` splits every family per fleet node (keys like
+    ``nic_frames_received{node="collector-1"}``), so a regression on one
+    collector isn't averaged away by its healthy peers.
     """
-    totals_a = _final_totals(run_a)
-    totals_b = _final_totals(run_b)
+    totals_a = _final_totals(run_a, group_label)
+    totals_b = _final_totals(run_b, group_label)
     out: Dict[str, dict] = {}
     for name in sorted(set(totals_a) | set(totals_b)):
         a = totals_a.get(name, 0.0)

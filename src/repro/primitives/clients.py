@@ -14,7 +14,8 @@ remain the cheap option when the operator runs on the collector host.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.collector.counters import CounterStore
@@ -142,6 +143,30 @@ class OneSidedReader:
         return [by_psn.get(psn) for psn in psns]
 
 
+@dataclass
+class FollowBatch:
+    """One incremental read from :meth:`AppendQueryClient.follow`.
+
+    ``records`` are the newly appended ``(absolute_index, bytes)`` pairs
+    since the previous call (READs lost in flight are omitted and will
+    *not* be retried -- the cursor has moved past them, matching the
+    ring's own loss model); ``missed`` counts records the ring overwrote
+    before this follower caught up; ``cursor`` is the absolute index the
+    next call resumes from.
+    """
+
+    records: List[Tuple[int, bytes]]
+    cursor: int
+    missed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def values(self) -> List[bytes]:
+        """Just the new record payloads, oldest first."""
+        return [record for _index, record in self.records]
+
+
 class AppendQueryClient:
     """Remote head/tail recovery of an Append ring over one-sided READs.
 
@@ -172,11 +197,22 @@ class AppendQueryClient:
             store.demux,
             store.region.rkey,
         )
+        #: Absolute ring index the next :meth:`follow` resumes from
+        #: (None until the first follow establishes a baseline).
+        self._cursor: Optional[int] = None
         registry = obs.get_registry()
         labels = registry.instance_labels("AppendQueryClient")
         #: Remote ring recoveries served.
         self.c_recoveries = registry.counter(
             "append_remote_recoveries", labels=labels
+        )
+        #: Incremental follow reads served.
+        self.c_follows = registry.counter(
+            "append_remote_follows", labels=labels
+        )
+        #: Records the ring overwrote before a follower caught up.
+        self.c_follow_missed = registry.counter(
+            "append_follow_missed", labels=labels
         )
 
     def __repr__(self) -> str:
@@ -214,6 +250,60 @@ class AppendQueryClient:
         ]
         self.c_recoveries.inc()
         return RingSnapshot(head=head, tail=tail, records=records)
+
+    @property
+    def cursor(self) -> Optional[int]:
+        """The absolute index the next :meth:`follow` resumes from."""
+        return self._cursor
+
+    def reset_cursor(self, cursor: Optional[int] = None) -> None:
+        """Rewind (or fast-forward) the follow cursor.
+
+        ``None`` restarts from the ring's current head on the next
+        follow; an absolute index resumes from there (clamped to the
+        readable window at read time).
+        """
+        self._cursor = cursor
+
+    def follow(self) -> Optional[FollowBatch]:
+        """Incremental tail-follow: only the records since the last call.
+
+        Reads the tail pointer, then pipelines READs for just the
+        ``[cursor, tail)`` window -- the ROADMAP follow-up that lets the
+        journal follower and any log-shipping operator tail a busy ring
+        without re-scanning it on every poll.  The first call establishes
+        the cursor at the ring's head, returning everything readable
+        (like :meth:`snapshot`); later calls return only the delta.
+
+        Records the ring overwrote before the follower caught up are
+        counted in ``missed`` (and the ``append_follow_missed`` series)
+        and skipped, mirroring overwrite-oldest semantics.  Returns
+        ``None`` -- cursor untouched -- when the tail read was lost.
+        """
+        tail = self.tail()
+        if tail is None:
+            return None
+        store = self.store
+        head = max(0, tail - store.capacity)
+        cursor = head if self._cursor is None else self._cursor
+        missed = max(0, head - cursor)
+        start = min(max(cursor, head), tail)
+        indexes = list(range(start, tail))
+        addresses = [
+            store.data_address + (index % store.capacity) * store.record_bytes
+            for index in indexes
+        ]
+        payloads = self.reader.read_run(addresses, store.record_bytes)
+        records = [
+            (index, payload)
+            for index, payload in zip(indexes, payloads)
+            if payload is not None
+        ]
+        self._cursor = tail
+        self.c_follows.inc()
+        if missed:
+            self.c_follow_missed.inc(missed)
+        return FollowBatch(records=records, cursor=tail, missed=missed)
 
 
 class CounterQueryClient:

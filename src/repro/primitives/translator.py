@@ -571,10 +571,22 @@ class AppendTranslator(PrimitiveTranslator):
         return self._write_template
 
     def _account_overwrites(self, start: int, count: int) -> None:
-        """Count reserved slots whose absolute index laps the capacity."""
+        """Count reserved slots whose absolute index laps the capacity.
+
+        Overwrites are also journalled (one event per lapping batch, not
+        per record) -- telemetry silently falling off the ring is exactly
+        what a postmortem needs to know about.
+        """
         overwritten = (start + count) - max(start, self.capacity)
         if overwritten > 0:
             self.c_overwrites.inc(overwritten)
+            obs.get_journal().record(
+                "ring_overwrite",
+                f"writer {self.writer_id} lapped {overwritten} record(s)",
+                writer=self.writer_id,
+                overwritten=overwritten,
+                tail=start + count,
+            )
 
     def _reserve(self, count: int) -> int:
         """FETCH_ADD the shared tail by ``count``; return the old tail.

@@ -130,7 +130,10 @@ class DartSwitch:
         self.addressing = DartAddressing(config)
         self._codec = config.slot_codec()
         self._tracer = obs.get_tracer()
-        self.counters = SwitchCounters(obs.get_registry())
+        # Switch counters carry a ``node="switch-<id>"`` label so fleet
+        # views attribute report/drop counts to the emitting switch.
+        with obs.get_registry().node_scope(f"switch-{switch_id}"):
+            self.counters = SwitchCounters(obs.get_registry())
 
         # The "global collector lookup table" (paper section 6): exact
         # match on collector ID, action data = RoCEv2 endpoint parameters.

@@ -248,6 +248,41 @@ class TestPrometheusRoundTrip:
         assert samples["repro_depth"] == 3.0
         assert samples['repro_lat_bucket{le="+Inf"}'] == 2.0
 
+    def test_node_labelled_families_group_under_one_comment_pair(self):
+        """Per-node series of one family share a single HELP/TYPE pair."""
+        registry = MetricsRegistry()
+        with registry.node_scope("collector-0"):
+            registry.counter(
+                "nic_frames_received",
+                labels=registry.instance_labels("RdmaNic"),
+                help="frames the NIC accepted",
+            ).inc(1190)
+        with registry.node_scope("collector-1"):
+            registry.counter(
+                "nic_frames_received",
+                labels=registry.instance_labels("RdmaNic"),
+            ).inc(740)
+        registry.counter("fabric_frames_offered").inc(2000)
+        types, helps, samples = _parse_prometheus(registry.to_prometheus())
+        # One comment pair per family, not per node.
+        assert types["repro_nic_frames_received"] == ["counter"]
+        assert helps["repro_nic_frames_received"] == [
+            "frames the NIC accepted"
+        ]
+        # Both nodes' samples survive the round trip with their values.
+        per_node = {
+            key: value
+            for key, value in samples.items()
+            if key.startswith("repro_nic_frames_received_total")
+        }
+        assert len(per_node) == 2
+        assert sum(per_node.values()) == 1930.0
+        for node, value in (("collector-0", 1190.0), ("collector-1", 740.0)):
+            (key,) = [k for k in per_node if f'node="{node}"' in k]
+            assert per_node[key] == value
+        # Snapshot exposition agrees byte-for-byte with the live one.
+        assert registry.snapshot().to_prometheus() == registry.to_prometheus()
+
     def test_comments_precede_all_family_samples(self):
         text = self._registry().to_prometheus()
         lines = text.splitlines()

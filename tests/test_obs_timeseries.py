@@ -249,6 +249,39 @@ class TestPersistenceAndTrendDiff:
         assert diff["only_b"]["delta"] == 9.0
         assert trend_diff([], []) == {}
 
+    def test_trend_diff_groups_per_node_series(self, tmp_path):
+        """A one-collector regression must not be averaged away."""
+
+        def run(path, per_node):
+            registry = MetricsRegistry()
+            for node, value in per_node.items():
+                registry.counter(
+                    "nic_frames_received", labels=(("node", node),)
+                ).inc(value)
+            registry.counter("fabric_frames_offered").inc(
+                sum(per_node.values())
+            )
+            MetricsScraper(registry, persist_path=str(path)).scrape(1)
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run(a, {"collector-0": 100, "collector-1": 100})
+        run(b, {"collector-0": 100, "collector-1": 40})
+        runs = (load_jsonl(str(a)), load_jsonl(str(b)))
+
+        # Ungrouped, the sick collector hides inside the fleet total ...
+        flat = trend_diff(*runs)
+        assert flat["nic_frames_received"]["delta"] == -60.0
+        # ... grouped per node, it is pinpointed (keys Prometheus-style).
+        by_node = trend_diff(*runs, group_label="node")
+        assert by_node['nic_frames_received{node="collector-0"}'][
+            "delta"
+        ] == 0.0
+        assert by_node['nic_frames_received{node="collector-1"}'][
+            "delta"
+        ] == -60.0
+        # Unlabelled families pass through under their bare name.
+        assert by_node["fabric_frames_offered"]["delta"] == -60.0
+
 
 class TestSimulationDrivesScraper:
     def test_int_simulation_drives_maybe_scrape(self):

@@ -153,6 +153,74 @@ class TestImpairedFabric:
         assert store.records() == records
 
 
+class TestTailFollow:
+    def test_first_follow_returns_everything_readable(self):
+        store = AppendStore(capacity=8, record_bytes=8)
+        writer = store.register_writer(0)
+        records = [b"rec-%04d" % i for i in range(5)]
+        writer.append_many(records)
+        client = AppendQueryClient(store)
+        batch = client.follow()
+        assert batch is not None
+        assert batch.values() == records
+        assert (batch.cursor, batch.missed) == (5, 0)
+        assert client.cursor == 5
+
+    def test_follow_returns_only_the_delta(self):
+        store = AppendStore(capacity=16, record_bytes=8)
+        writer = store.register_writer(0)
+        writer.append_many([b"old-%04d" % i for i in range(4)])
+        client = AppendQueryClient(store)
+        client.follow()
+        new = [b"new-%04d" % i for i in range(3)]
+        writer.append_many(new)
+        batch = client.follow()
+        assert batch.values() == new
+        assert [index for index, _record in batch.records] == [4, 5, 6]
+        # Nothing new: an empty batch, cursor parked at the tail.
+        assert len(client.follow()) == 0
+        assert client.cursor == 7
+
+    def test_lagging_follower_counts_overwritten_records_as_missed(self):
+        store = AppendStore(capacity=4, record_bytes=8)
+        writer = store.register_writer(0)
+        writer.append_many([b"a-%05d" % i for i in range(3)])
+        client = AppendQueryClient(store)
+        client.follow()  # cursor at 3
+        writer.append_many([b"b-%05d" % i for i in range(8)])  # tail 11, head 7
+        batch = client.follow()
+        assert batch.missed == 4  # absolute indexes 3..6 were lapped
+        assert [index for index, _record in batch.records] == [7, 8, 9, 10]
+        assert client.c_follow_missed.value == 4
+
+    def test_lost_tail_read_leaves_the_cursor_untouched(self):
+        fabric = ImpairedFabric(InlineFabric(), loss=0.0, seed=3)
+        store = AppendStore(capacity=8, record_bytes=8, fabric=fabric)
+        writer = store.register_writer(0)
+        records = [b"rec-%04d" % i for i in range(4)]
+        writer.append_many(records)
+        client = AppendQueryClient(store)
+        fabric.loss = 1.0
+        assert client.follow() is None
+        assert client.cursor is None
+        # Once the wire heals, the next follow picks up from the start.
+        fabric.loss = 0.0
+        batch = client.follow()
+        assert batch is not None and batch.values() == records
+
+    def test_reset_cursor_rewinds_or_fast_forwards(self):
+        store = AppendStore(capacity=16, record_bytes=8)
+        writer = store.register_writer(0)
+        records = [b"rec-%04d" % i for i in range(6)]
+        writer.append_many(records)
+        client = AppendQueryClient(store)
+        client.follow()
+        client.reset_cursor()  # back to the ring's head
+        assert client.follow().values() == records
+        client.reset_cursor(4)  # resume from an absolute index
+        assert client.follow().values() == records[4:]
+
+
 class TestRemoteRecovery:
     def test_remote_snapshot_matches_local_recover(self):
         store = AppendStore(capacity=8, record_bytes=8)

@@ -168,3 +168,72 @@ class TestResponseDemux:
         fabric.attach(0, RdmaNic(MemoryRegion(size=64)))
         demux = ResponseDemux()
         assert demux.poll(fabric, 0) == 0
+
+
+class TestDemuxInterleaving:
+    """Counter and Append requesters sharing one endpoint's demux.
+
+    ``Fabric.poll`` drains everything queued for an endpoint, so the
+    write-side atomic ACKs and the read-side READ responses ride the same
+    queue.  These tests interleave writers and one-sided readers on a
+    single store and assert nobody consumes anybody else's responses.
+    """
+
+    def test_counter_adds_interleave_with_two_query_operators(self):
+        from repro.collector.counters import CounterStore
+        from repro.primitives import CounterQueryClient
+
+        store = CounterStore(cells_per_row=256, rows=2)
+        first = CounterQueryClient(store, operator_id=0)
+        second = CounterQueryClient(store, operator_id=1)
+        # Writes interleave with estimates from both operators; each
+        # client must see only its own READ responses.
+        store.add(("flow", 1), 5)
+        assert first.estimate(("flow", 1)) == 5
+        store.add(("flow", 2), 7)
+        store.add(("flow", 1), 3)
+        assert second.estimate(("flow", 2)) == 7
+        assert first.estimate(("flow", 1)) == 8
+
+    def test_in_flight_read_survives_another_operators_poll(self):
+        from repro.collector.counters import CounterStore
+        from repro.primitives import CounterQueryClient
+
+        store = CounterStore(cells_per_row=256, rows=2)
+        first = CounterQueryClient(store, operator_id=0)
+        second = CounterQueryClient(store, operator_id=1)
+        store.add(("flow", 1), 5)
+        # Put operator 0's READ on the wire without polling for it.
+        reader = first.reader
+        psn = reader._next_psn()
+        reader.fabric.send(
+            store.endpoint_id,
+            reader._craft_read(store.region.base_address, 8, psn),
+        )
+        # Operator 1 now drains the endpoint for its own estimate.  The
+        # demux must file operator 0's response rather than lose it.
+        assert second.estimate(("flow", 1)) == 5
+        pending = store.demux.take(reader.qp.qp_number)
+        assert [p.bth.psn for p in pending] == [psn]
+        assert pending[0].bth.opcode == int(Opcode.RC_RDMA_READ_RESPONSE_ONLY)
+
+    def test_append_writer_interleaves_with_two_followers(self):
+        from repro.primitives import AppendQueryClient, AppendStore
+
+        store = AppendStore(capacity=16, record_bytes=8)
+        writer = store.register_writer(0)
+        first = AppendQueryClient(store, operator_id=0)
+        second = AppendQueryClient(store, operator_id=1)
+        # The writer *consumes* its FETCH_ADD ACK to learn the reserved
+        # slot, so interleaving appends between follows proves the
+        # followers' READ responses never starve the reservation path.
+        writer.append(b"rec-0000")
+        assert first.follow().values() == [b"rec-0000"]
+        writer.append(b"rec-0001")
+        assert second.follow().values() == [b"rec-0000", b"rec-0001"]
+        writer.append(b"rec-0002")
+        assert first.follow().values() == [b"rec-0001", b"rec-0002"]
+        assert second.follow().values() == [b"rec-0002"]
+        # Independent cursors: both operators converged on the same tail.
+        assert first.cursor == second.cursor == 3
+        assert store.tail() == 3
