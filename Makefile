@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-obs-timeseries bench-obs-fleet bench-control bench-fabric-columnar bench-primitives experiments experiments-full examples lint ci all
+.PHONY: install test bench bench-obs bench-obs-timeseries bench-obs-fleet bench-obs-trace bench-control bench-fabric-columnar bench-primitives experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -19,7 +19,7 @@ lint:
 	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-ci: lint bench-obs bench-obs-timeseries bench-obs-fleet bench-control bench-fabric-columnar bench-primitives
+ci: lint bench-obs bench-obs-timeseries bench-obs-fleet bench-obs-trace bench-control bench-fabric-columnar bench-primitives
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
@@ -41,6 +41,12 @@ bench-obs-timeseries:
 # report path (writes benchmarks/BENCH_obs_fleet.json).
 bench-obs-fleet:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_fleet.py -q
+
+# Causal-tracing gate: 1% head-sampled batch-granularity tracing must
+# cost at most 10% on the columnar packet datapath (writes
+# benchmarks/BENCH_obs_trace.json).
+bench-obs-trace:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_trace.py -q
 
 # Fleet-controller gate: a collector crashed under an impaired fabric
 # must fail over within bounded ticks and bounded reports lost (writes

@@ -147,7 +147,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     # A fresh registry/tracer/profiler/journal so the run covers exactly
     # this pipeline; the previous defaults are restored before returning.
     registry = obs.MetricsRegistry(enabled=True)
-    tracer = obs.Tracer()
+    tracer = obs.Tracer(
+        sample_rate=args.sample_rate, granularity=args.granularity
+    )
     journal = obs.EventJournal()
     profiler = (
         obs.StageProfiler(registry) if mode == "profile" else obs.NULL_PROFILER
@@ -279,6 +281,28 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print()
             print("== journal tail ==")
             print(journal.render())
+        elif mode == "trace":
+            analyzer = obs.TraceAnalyzer()
+            records = tracer.kept()
+            source = "tail-retained"
+            if not records:
+                records = tracer.traces()
+                source = "live"
+            records = sorted(
+                records, key=lambda r: r.duration, reverse=True
+            )
+            limit = args.trace or 3
+            shown = min(limit, len(records))
+            print(
+                f"== {shown} of {len(records)} {source} traces "
+                f"(slowest first; sample_rate={tracer.sample_rate}, "
+                f"{tracer.traces_sampled_out} sampled out) =="
+            )
+            for record in records[:limit]:
+                print()
+                print(analyzer.render_waterfall(record, node=args.node))
+                if args.critical_path:
+                    print(analyzer.render_critical_path(record))
         elif mode == "snapshot":
             snapshot = registry.snapshot()
             if args.node:
@@ -295,7 +319,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 if nodes:
                     print()
                     print(obs.render_fleet(snapshot))
-        if args.trace:
+        if args.trace and mode != "trace":
             print()
             print(f"== first {args.trace} report traces ==")
             for record in tracer.traces(kind="switch_report")[: args.trace]:
@@ -578,13 +602,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_p.add_argument(
         "mode", nargs="?",
-        choices=["snapshot", "watch", "alerts", "profile", "fleet", "bundle"],
+        choices=[
+            "snapshot", "watch", "alerts", "profile", "fleet", "bundle",
+            "trace",
+        ],
         default="snapshot",
         help="snapshot: one dashboard (+ per-node fleet table); watch: "
              "per-tick re-renders with sparklines; alerts: the "
              "SLO/conformance engine; profile: wall-clock stage profile; "
              "fleet: per-node fleet dashboard with self-telemetry "
-             "read-back; bundle: dump a postmortem debug bundle",
+             "read-back; bundle: dump a postmortem debug bundle; trace: "
+             "span-tree waterfalls of the slowest kept traces",
     )
     obs_p.add_argument(
         "--node", default=None, metavar="NODE",
@@ -608,7 +636,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_p.add_argument(
         "--trace", type=int, default=0, metavar="K",
-        help="also print the first K per-report traces",
+        help="also print the first K per-report traces (in trace mode: "
+             "how many waterfalls to show, default 3)",
+    )
+    obs_p.add_argument(
+        "--critical-path", action="store_true",
+        help="trace mode: also print each trace's critical-path "
+             "attribution (which stage bounded end-to-end latency)",
+    )
+    obs_p.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="head-sampling probability for new traces (deterministic "
+             "hash of the trace id)",
+    )
+    obs_p.add_argument(
+        "--granularity", choices=["report", "batch"], default="report",
+        help="trace each report's frames individually, or whole "
+             "columnar batches (keeps the datapath vectorised)",
     )
     obs_p.add_argument(
         "--rounds", type=int, default=4,

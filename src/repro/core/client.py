@@ -122,20 +122,36 @@ class DartQueryClient:
         total.inc()
         if result.answered:
             answered.inc()
-        if timed:
-            ended = perf_counter()
-            if self._h_query_seconds.enabled:
-                self._h_query_seconds.observe(ended - started)
-            if profiler.enabled:
-                profiler.record("client.query", started, ended)
         tracer = self._tracer
+        trace_id = 0
         if tracer.enabled:
-            trace_id = tracer.begin("query", key=repr(key))
+            # Join the operation in flight (one tree across planes) or
+            # start a fresh query trace.
+            active = tracer.active_trace_id
+            trace_id = (
+                tracer.begin("query", key=repr(key)) if active is None
+                else active
+            )
             tracer.span(
                 trace_id,
                 "client.query",
                 f"policy={policy.name} outcome={result.outcome.name}",
+                status="ok" if result.answered else "miss",
             )
+            if active is None:
+                tracer.end(trace_id)
+        if timed:
+            ended = perf_counter()
+            if self._h_query_seconds.enabled:
+                if trace_id:
+                    # Exemplar: a p99 bucket links back to this trace.
+                    self._h_query_seconds.observe_exemplar(
+                        ended - started, trace_id
+                    )
+                else:
+                    self._h_query_seconds.observe(ended - started)
+            if profiler.enabled:
+                profiler.record("client.query", started, ended)
         return result
 
     def query_value(

@@ -128,6 +128,7 @@ class DartReporter:
             tracer.span(
                 trace_id, "reporter.writes_for", f"copies={len(writes)}"
             )
+            tracer.end(trace_id)
         return writes
 
     def report_batch(
@@ -149,7 +150,9 @@ class DartReporter:
         encode = self._codec.encode
         redundancy = self.redundancy
         tracer = self._tracer
-        trace = tracer.enabled
+        # Batch granularity records one trace for the whole expansion
+        # below instead of one per report.
+        trace = tracer.enabled and tracer.granularity != "batch"
         timed = self._h_batch_seconds.enabled
         if timed:
             started = perf_counter()
@@ -176,6 +179,21 @@ class DartReporter:
                 tracer.span(
                     trace_id, "reporter.report_batch", f"copies={redundancy}"
                 )
+                tracer.end(trace_id)
+        if tracer.enabled and not trace and reports:
+            active = tracer.active_trace_id
+            trace_id = (
+                tracer.begin("report_batch", key=f"reports={reports}")
+                if active is None
+                else active
+            )
+            tracer.span(
+                trace_id,
+                "reporter.report_batch",
+                f"reports={reports} copies={redundancy}",
+            )
+            if active is None:
+                tracer.end(trace_id)
         self.c_reports.inc(reports)
         self.c_writes.inc(len(writes))
         if timed:

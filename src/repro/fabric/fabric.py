@@ -290,6 +290,13 @@ class Fabric:
                     executed = None
                 elif executed is not None and result:
                     executed += 1
+            tracer = self._tracer
+            if tracer.enabled and batch.trace_ctx is not None:
+                tracer.finish_batch(
+                    batch,
+                    "fabric.deliver",
+                    f"{type(self).__name__}:scalar rows={batch.count}",
+                )
             return executed
         finally:
             batch.release()
@@ -343,11 +350,16 @@ class Fabric:
             counters.c_rejected.inc()
         tracer = self._tracer
         if tracer.enabled:
-            tracer.frame_span(
+            # Delivery is the end of the frame's journey: record the
+            # terminal span and release the binding (the lifecycle fix --
+            # bindings no longer leak until reset).  A rejected frame is
+            # an anomaly, so its trace is tail-retained.
+            tracer.finish_frame(
                 frame,
                 "fabric.deliver",
                 f"{type(self).__name__}:"
                 + ("executed" if executed else "rejected"),
+                status="ok" if executed else "drop",
             )
         return executed
 
@@ -370,6 +382,12 @@ class Fabric:
             executed = sum(1 for frame in frames if port.receive_frame(frame))
         if profiler.enabled:
             profiler.record("fabric.deliver", started, profiler.now())
+        if tracer.enabled:
+            # The deliver spans above were recorded pre-ingest (the bulk
+            # path has no per-frame result); the journey still ends here,
+            # so release the bindings span-lessly.
+            for frame in frames:
+                tracer.release_frame(frame)
         counters = self.counters
         counters.c_delivered.inc(len(frames))
         counters.c_executed.inc(executed)
@@ -387,7 +405,17 @@ class Fabric:
         count = batch.count
         if count == 0:
             return 0
-        if self._tracer.enabled:
+        tracer = self._tracer
+        if (
+            tracer.enabled
+            and tracer.granularity != "batch"
+            and batch.trace_ctx is None
+        ):
+            # Per-report tracing: materialise the rows so every frame
+            # keeps its own span chain.  Batch-granularity traces stay on
+            # the vectorised path below and record one span per layer --
+            # and unsampled batch-granularity batches (trace_ctx None)
+            # stay vectorised too, which is what keeps head sampling free.
             return self._deliver_many(
                 endpoint_id,
                 [batch.frame_bytes(index) for index in range(count)],
@@ -408,6 +436,13 @@ class Fabric:
                     executed += 1
         if profiler.enabled:
             profiler.record("fabric.deliver", started, profiler.now())
+        if tracer.enabled and batch.trace_ctx is not None:
+            tracer.finish_batch(
+                batch,
+                "fabric.deliver",
+                f"{type(self).__name__}:rows={count} executed={executed}",
+                status="ok" if executed == count else "drop",
+            )
         counters = self.counters
         counters.c_delivered.inc(count)
         counters.c_executed.inc(executed)

@@ -138,7 +138,11 @@ class ImpairedFabric(Fabric):
         if self._lost():
             counters.c_dropped_loss.inc()
             if tracer.enabled:
-                tracer.frame_span(frame, "fabric.impair", "dropped:loss")
+                # A lost frame's journey ends here: terminal span, and
+                # the drop status tail-retains its trace.
+                tracer.finish_frame(
+                    frame, "fabric.impair", "dropped:loss", status="drop"
+                )
             return False
 
         held = self._held.pop(endpoint_id, None)
@@ -152,6 +156,11 @@ class ImpairedFabric(Fabric):
                 tracer.frame_span(frame, "fabric.impair", "held:reorder")
             return None
 
+        # Inner delivery may finish the frame's trace binding; snapshot
+        # the causal position first so a duplicate can fork from it.
+        dup_ctx = None
+        if tracer.enabled and self.duplication > 0.0:
+            dup_ctx = tracer.frame_context(frame)
         result = self.inner.send(endpoint_id, frame)
         if held is not None:
             # The held frame lands *after* the newer one: an adjacent swap.
@@ -161,6 +170,7 @@ class ImpairedFabric(Fabric):
         if self.duplication > 0.0 and self._rng.random() < self.duplication:
             counters.c_duplicated.inc()
             if tracer.enabled:
+                tracer.rebind_frame(frame, dup_ctx)
                 tracer.frame_span(frame, "fabric.impair", "duplicated")
             self.inner.send(endpoint_id, frame)
         return result
@@ -189,9 +199,16 @@ class ImpairedFabric(Fabric):
         path would deliver them, and their delivery results are ignored in
         the return value just as :meth:`send` ignores them.
         """
-        if self._tracer.enabled:
+        tracer = self._tracer
+        if (
+            tracer.enabled
+            and tracer.granularity != "batch"
+            and batch.trace_ctx is None
+        ):
             # Per-frame impairment spans need the scalar path; the base
-            # reference loop draws the identical RNG sequence.
+            # reference loop draws the identical RNG sequence.  Batches
+            # at batch granularity stay columnar whether sampled (trace_ctx
+            # set, aggregate impairment spans below) or not.
             return super().send_batch(batch)
         count = batch.count
         counters = self.counters
@@ -234,6 +251,15 @@ class ImpairedFabric(Fabric):
                 counters.c_reordered.inc(reordered)
             if duplicated:
                 counters.c_duplicated.inc(duplicated)
+            traced = tracer.enabled and batch.trace_ctx is not None
+            if traced and (lost or reordered or duplicated):
+                tracer.batch_span(
+                    batch,
+                    "fabric.impair",
+                    f"lost={lost} reordered={reordered} "
+                    f"duplicated={duplicated}",
+                    status="drop" if lost else "ok",
+                )
             executed: Optional[int] = 0
             run: List[int] = []
 
@@ -257,6 +283,17 @@ class ImpairedFabric(Fabric):
                 else:
                     run.append(item)
             flush_run()
+            if traced and batch.trace_ctx is not None:
+                # Surviving runs finished the shared context through the
+                # inner fabric's delivery; if nothing survived, this is
+                # the terminal span (first-finish-wins makes it a no-op
+                # otherwise).
+                tracer.finish_batch(
+                    batch,
+                    "fabric.deliver",
+                    f"{type(self.inner).__name__}:rows=0 executed=0",
+                    status="drop",
+                )
             if reordered:
                 executed = None
             return executed

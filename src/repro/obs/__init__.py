@@ -82,11 +82,18 @@ from repro.obs.timeseries import (
     sparkline,
     trend_diff,
 )
+from repro.obs.trace_analysis import (
+    SpanTiming,
+    TraceAnalysis,
+    TraceAnalyzer,
+)
 from repro.obs.tracing import (
     EVICTED_TRACE,
     NULL_TRACER,
+    UNSAMPLED_TRACE,
     NullTracer,
     Span,
+    SpanContext,
     TraceRecord,
     Tracer,
 )
@@ -220,8 +227,13 @@ __all__ = [
     "PipelineHealth",
     "QueryHealth",
     "Span",
+    "SpanContext",
+    "SpanTiming",
+    "TraceAnalysis",
+    "TraceAnalyzer",
     "TraceRecord",
     "Tracer",
+    "UNSAMPLED_TRACE",
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
     "DEPTH_BUCKETS",

@@ -32,6 +32,9 @@ from repro.obs.metrics import MetricsRegistry
 #: the telemetry ring if the self-telemetry exporter is running).
 JOURNAL_TAIL = 256
 
+#: Tail-retained traces included in a bundle (the newest kept ones).
+MAX_BUNDLE_TRACES = 32
+
 
 def _alert_rows(engine) -> List[dict]:
     """Every alert's state, value and transition history."""
@@ -128,6 +131,24 @@ def build_bundle(
         bundle["alerts"] = _alert_rows(engine)
     if controller is not None:
         bundle["membership"] = _membership_rows(controller)
+    tracer = obs.get_tracer()
+    kept = tracer.kept()
+    if kept:
+        # Tail-retained traces with their critical-path attribution --
+        # the "why was it slow / what dropped" half of the postmortem.
+        from repro.obs.trace_analysis import TraceAnalyzer
+
+        analyzer = TraceAnalyzer()
+        bundle["traces"] = {
+            "kept": len(kept),
+            "sealed": tracer.traces_sealed,
+            "sampled_out": tracer.traces_sampled_out,
+            "records": [record.to_row() for record in kept[-MAX_BUNDLE_TRACES:]],
+            "critical_paths": [
+                analyzer.summarize(record)
+                for record in kept[-MAX_BUNDLE_TRACES:]
+            ],
+        }
     return bundle
 
 

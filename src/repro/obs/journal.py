@@ -168,12 +168,24 @@ class EventJournal:
         are stringified (sorted by key) so events stay hashable and
         wire-encodable.  ``kind`` must be one of :data:`KNOWN_KINDS` --
         a typo here would silently split an event stream in two.
+
+        ``trace_id`` defaults to the process tracer's *active* trace
+        (see :meth:`repro.obs.tracing.Tracer.activate`), so any event a
+        traced operation journals -- a ring overwrite during its Append,
+        an SLO alert it tripped -- is automatically correlated with its
+        span tree.
         """
         if kind not in KNOWN_KINDS:
             raise ValueError(
                 f"unknown journal event kind {kind!r}; add it to "
                 f"KNOWN_KINDS if it is a new control-plane event"
             )
+        if trace_id is None:
+            # Looked up at record time, like the journal itself (events
+            # are control-plane rate, not datapath rate).
+            from repro import obs
+
+            trace_id = obs.get_tracer().active_trace_id
         event = JournalEvent(
             seq=self._next_seq,
             tick=self.tick if tick is None else tick,

@@ -154,7 +154,16 @@ class Histogram:
     two attribute adds -- no allocation on the hot path.
     """
 
-    __slots__ = ("name", "labels", "help", "bounds", "_counts", "_sum", "_count")
+    __slots__ = (
+        "name",
+        "labels",
+        "help",
+        "bounds",
+        "_counts",
+        "_sum",
+        "_count",
+        "_exemplars",
+    )
 
     enabled = True
     kind = "histogram"
@@ -178,6 +187,7 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
         self._sum = 0.0
         self._count = 0
+        self._exemplars: Optional[list] = None  # lazy: most histograms have none
 
     def __repr__(self) -> str:
         return (
@@ -202,6 +212,43 @@ class Histogram:
         self._counts[bisect_left(self.bounds, value)] += count
         self._sum += value * count
         self._count += count
+
+    def observe_exemplar(self, value: float, exemplar: object) -> None:
+        """Record one observation and stamp ``exemplar`` on its bucket.
+
+        Exemplars link aggregate latency back to individual causes --
+        the tracer passes a trace id, so ``exemplar(0.99)`` answers
+        "show me a trace for a p99 outlier".  Each bucket keeps its most
+        recent exemplar; exemplars live only on this live histogram and
+        never enter snapshots (snapshot tuples stay ``(counts, sum,
+        bounds)``).
+        """
+        index = bisect_left(self.bounds, value)
+        self._counts[index] += 1
+        self._sum += value
+        self._count += 1
+        if self._exemplars is None:
+            self._exemplars = [None] * (len(self.bounds) + 1)
+        self._exemplars[index] = exemplar
+
+    def exemplar(self, q: float = 0.99) -> Optional[object]:
+        """The exemplar stored on the bucket containing the ``q``-quantile.
+
+        Uses the same rank walk as :meth:`quantile`, so the returned
+        exemplar is an observation from the exact bucket that quantile
+        reports.  None when empty or the bucket never saw an exemplar.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._count or self._exemplars is None:
+            return None
+        rank = q * self._count
+        running = 0
+        for index, count in enumerate(self._counts):
+            running += count
+            if running >= rank and count:
+                return self._exemplars[index]
+        return None
 
     @property
     def counts(self) -> Tuple[int, ...]:
@@ -258,6 +305,7 @@ class Histogram:
             self._counts[index] = 0
         self._sum = 0.0
         self._count = 0
+        self._exemplars = None
 
 
 class _NullMetric:
@@ -309,6 +357,13 @@ class NullHistogram(_NullMetric):
 
     def observe_many(self, value: float, count: int) -> None:
         """No-op."""
+
+    def observe_exemplar(self, value: float, exemplar: object) -> None:
+        """No-op."""
+
+    def exemplar(self, q: float = 0.99) -> None:
+        """Always None."""
+        return None
 
     @property
     def counts(self) -> Tuple[int, ...]:

@@ -313,6 +313,10 @@ class SloEngine:
                 )
                 if alert.state is AlertState.FIRING:
                     newly_firing.append(alert)
+                    # Tail-based retention: the traces in flight when a
+                    # rule starts firing are the ones that witnessed the
+                    # breach -- keep them for the postmortem.
+                    obs.get_tracer().keep_live(f"slo:{alert.rule.name}")
         self.evaluations += 1
         self._g_firing.set(float(len(self.firing())))
         self._g_pending.set(

@@ -76,6 +76,7 @@ class OneSidedReader:
         self.rkey = rkey
         self._psn = 0
         registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
         labels = registry.instance_labels("OneSidedReader")
         #: READ request frames issued.
         self.c_reads_sent = registry.counter(
@@ -110,7 +111,19 @@ class OneSidedReader:
         """One READ round trip; ``None`` if the request was lost/rejected."""
         psn = self._next_psn()
         self.c_reads_sent.inc()
-        self.fabric.send(self.endpoint_id, self._craft_read(address, length, psn))
+        frame = self._craft_read(address, length, psn)
+        tracer = self._tracer
+        trace_id = tracer.active_trace_id if tracer.enabled else None
+        if trace_id is not None:
+            # Queries join whatever operation is in flight -- the READ
+            # leg lands in the same tree as the data-plane WRITEs.
+            read_sid = tracer.span(
+                trace_id,
+                "query.read",
+                f"addr={address:#x} len={length}",
+            )
+            tracer.bind_frame(frame, trace_id, parent=read_sid)
+        self.fabric.send(self.endpoint_id, frame)
         self.demux.poll(self.fabric, self.endpoint_id)
         for response in self.demux.take(self.qp.qp_number):
             if (
@@ -118,6 +131,14 @@ class OneSidedReader:
                 and response.bth.psn == psn
             ):
                 return response.payload
+        if trace_id is not None:
+            tracer.span(
+                trace_id,
+                "query.read.lost",
+                f"psn={psn}",
+                status="drop",
+                parent=read_sid,
+            )
         return None
 
     def read_run(self, addresses: List[int], length: int) -> List[Optional[bytes]]:
@@ -133,6 +154,16 @@ class OneSidedReader:
             for address, psn in zip(addresses, psns)
         ]
         self.c_reads_sent.inc(len(frames))
+        tracer = self._tracer
+        trace_id = tracer.active_trace_id if tracer.enabled else None
+        if trace_id is not None and frames:
+            read_sid = tracer.span(
+                trace_id,
+                "query.read_run",
+                f"reads={len(frames)} len={length}",
+            )
+            for frame in frames:
+                tracer.bind_frame(frame, trace_id, parent=read_sid)
         self.fabric.send_many(self.endpoint_id, frames)
         self.fabric.flush()
         self.demux.poll(self.fabric, self.endpoint_id)

@@ -151,6 +151,7 @@ class PrimitiveTranslator:
         self._pool = FramePool()
         registry = obs.get_registry()
         self._registry = registry
+        self._tracer = obs.get_tracer()
         self._labels = registry.instance_labels(type(self).__name__)
         self._h_seconds = registry.histogram(
             "stage_seconds",
@@ -597,11 +598,33 @@ class AppendTranslator(PrimitiveTranslator):
         e.g. from an earlier duplicated request -- are discarded by the
         PSN match.
         """
+        tracer = self._tracer
+        trace_id = tracer.active_trace_id if tracer.enabled else None
+        reserve_parent = 0
+        if trace_id is not None:
+            reserve_parent = tracer.span(
+                trace_id,
+                "append.reserve",
+                f"writer={self.writer_id} count={count}",
+            )
         for attempt in range(self.max_retries + 1):
             if attempt:
                 self.c_reserve_retries.inc()
+                if trace_id is not None:
+                    # A lost reservation surfaces causally: the retry is
+                    # a child of the reserve span, and its non-ok status
+                    # tail-retains the whole trace.
+                    tracer.span(
+                        trace_id,
+                        "append.reserve.retry",
+                        f"attempt={attempt}",
+                        status="retry",
+                        parent=reserve_parent,
+                    )
             psn = self._next_psn()
             frame = self.craft_fetch_add(self.tail_address, count, psn=psn)
+            if trace_id is not None:
+                tracer.bind_frame(frame, trace_id, parent=reserve_parent)
             self.fabric.send(self.endpoint_id, frame)
             self.demux.poll(self.fabric, self.endpoint_id)
             for response in self.demux.take(self.qp_number):
@@ -611,6 +634,14 @@ class AppendTranslator(PrimitiveTranslator):
                     and len(response.payload) >= 8
                 ):
                     return int.from_bytes(response.payload[:8], "big")
+        if trace_id is not None:
+            tracer.span(
+                trace_id,
+                "append.reserve.error",
+                f"attempts={self.max_retries + 1}",
+                status="error",
+                parent=reserve_parent,
+            )
         raise AppendReserveError(
             f"writer {self.writer_id}: tail reservation got no response "
             f"after {self.max_retries + 1} attempts"
@@ -623,6 +654,33 @@ class AppendTranslator(PrimitiveTranslator):
         ring's life; ``index % capacity`` is its slot).
         """
         padded = self._pad(value)
+        tracer = self._tracer
+        if tracer.enabled:
+            active = tracer.active_trace_id
+            owned = active is None
+            trace_id = (
+                tracer.begin("append", key=f"writer={self.writer_id}")
+                if owned
+                else active
+            )
+            root_sid = tracer.span(
+                trace_id,
+                "primitive.append",
+                f"writer={self.writer_id} count=1",
+            )
+            with tracer.activate(trace_id):
+                start = self._reserve(1)
+                self._account_overwrites(start, 1)
+                frame = self.craft_record_write(start % self.capacity, padded)
+                # Parent explicitly on the operation root: the WRITE is a
+                # sibling of the reservation chain, not its child.
+                tracer.bind_frame(frame, trace_id, parent=root_sid)
+                self.fabric.send(self.endpoint_id, frame)
+                self.fabric.flush()
+            if owned:
+                tracer.end(trace_id)
+            self.c_appends.inc()
+            return start
         start = self._reserve(1)
         self._account_overwrites(start, 1)
         frame = self.craft_record_write(start % self.capacity, padded)
@@ -647,7 +705,35 @@ class AppendTranslator(PrimitiveTranslator):
         timed = self._h_seconds.enabled
         if timed:
             started = perf_counter()
-        start = self._reserve(count)
+        tracer = self._tracer
+        trace_id = 0
+        root_sid = 0
+        owned = False
+        active = None
+        if tracer.enabled:
+            active = tracer.active_trace_id
+            owned = active is None
+            trace_id = (
+                tracer.begin("append", key=f"writer={self.writer_id}")
+                if owned
+                else active
+            )
+            root_sid = tracer.span(
+                trace_id,
+                "primitive.append",
+                f"writer={self.writer_id} count={count}",
+            )
+            # Make this the ambient trace for the reservation and any
+            # journal events (ring overwrites) the batch triggers.
+            tracer.active_trace_id = trace_id
+        try:
+            start = self._reserve(count)
+        except AppendReserveError:
+            if tracer.enabled:
+                tracer.active_trace_id = active
+                if owned:
+                    tracer.end(trace_id)
+            raise
         self._account_overwrites(start, count)
         slots = (
             np.uint64(start) + np.arange(count, dtype=np.uint64)
@@ -665,8 +751,17 @@ class AppendTranslator(PrimitiveTranslator):
         write_be32(frames, _PSN_OFF, self._psn_sequence(count))
         write_le32(frames, width - 4, icrc_rows(frames))
         endpoint_ids = np.full(count, self.endpoint_id, dtype=np.int64)
-        self.fabric.send_batch(FrameBatch(frames, endpoint_ids, lease))
+        frame_batch = FrameBatch(frames, endpoint_ids, lease)
+        if tracer.enabled:
+            # One batch binding covers all the record WRITEs; parented on
+            # the operation root, a sibling of the reservation chain.
+            tracer.bind_batch(frame_batch, trace_id, parent=root_sid)
+        self.fabric.send_batch(frame_batch)
         self.fabric.flush()
+        if tracer.enabled:
+            tracer.active_trace_id = active
+            if owned:
+                tracer.end(trace_id)
         self.c_appends.inc(count)
         if timed:
             self._h_seconds.observe(perf_counter() - started)

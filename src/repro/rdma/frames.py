@@ -235,7 +235,7 @@ class FrameBatch:
     them); ports only borrow.
     """
 
-    __slots__ = ("frames", "endpoint_ids", "_lease")
+    __slots__ = ("frames", "endpoint_ids", "_lease", "trace_ctx")
 
     def __init__(
         self,
@@ -246,6 +246,9 @@ class FrameBatch:
         self.frames = frames
         self.endpoint_ids = endpoint_ids
         self._lease = lease
+        #: Causal trace context (:class:`repro.obs.tracing.SpanContext`)
+        #: when batch-granularity tracing bound this batch; None otherwise.
+        self.trace_ctx = None
 
     def __len__(self) -> int:
         return len(self.frames)
@@ -278,7 +281,9 @@ class FrameBatch:
         the caller's handle is released on return from ``send_batch``.
         """
         lease = self._lease.retain() if self._lease is not None else None
-        return FrameBatch(self.frames, self.endpoint_ids, lease)
+        handle = FrameBatch(self.frames, self.endpoint_ids, lease)
+        handle.trace_ctx = self.trace_ctx
+        return handle
 
     def data_ptr(self) -> int:
         """Address of the first frame byte (aliasing tests only)."""
@@ -300,7 +305,9 @@ class FrameBatch:
             frames = view
         else:
             frames = self.frames[rows]
-        return FrameBatch(frames, self.endpoint_ids[rows], lease)
+        sub = FrameBatch(frames, self.endpoint_ids[rows], lease)
+        sub.trace_ctx = self.trace_ctx
+        return sub
 
     def frame_bytes(self, index: int) -> bytes:
         """Frame ``index`` as standalone wire bytes (scalar-path bridge)."""

@@ -263,7 +263,9 @@ class RdmaNic:
         except PacketDecodeError:
             self.counters.c_dropped_decode.inc()
             if self._tracer.enabled:
-                self._tracer.frame_span(frame, "nic.ingest", "dropped:decode")
+                self._tracer.frame_span(
+                    frame, "nic.ingest", "dropped:decode", status="drop"
+                )
             return False
         executed = self.receive_packet(packet)
         if self._tracer.enabled:
@@ -382,13 +384,32 @@ class RdmaNic:
         count = len(frames)
         if count == 0:
             return 0
-        if not self._tracer.enabled:
+        tracer = self._tracer
+        # Batch-granularity tracing keeps the vector paths -- sampled
+        # batches (trace_ctx set) record one aggregate span, unsampled
+        # batches pay nothing; per-report tracing needs the scalar
+        # reference path for per-frame spans.
+        if (
+            not tracer.enabled
+            or tracer.granularity == "batch"
+            or batch.trace_ctx is not None
+        ):
+            executed: Optional[int] = None
             if self._batch_is_uniform_writes(frames):
-                return self._ingest_write_batch(batch)
-            if self._batch_is_uniform_fetch_adds(
+                executed = self._ingest_write_batch(batch)
+            elif self._batch_is_uniform_fetch_adds(
                 frames
             ) and not self._any_qp_responds_atomics(read_be24(frames, 47)):
-                return self._ingest_fetch_add_batch(batch)
+                executed = self._ingest_fetch_add_batch(batch)
+            if executed is not None:
+                if tracer.enabled and batch.trace_ctx is not None:
+                    tracer.batch_span(
+                        batch,
+                        "nic.ingest",
+                        f"rows={count} executed={executed}",
+                        status="ok" if executed == count else "drop",
+                    )
+                return executed
         # Reference path: per-frame spans and the full drop taxonomy.
         return self.ingest_many(
             frames[index].tobytes() for index in range(count)

@@ -342,6 +342,9 @@ class DartSwitch:
             )
             for _collector_id, frame in frames:
                 tracer.bind_frame(frame, trace_id)
+            # All bindings are made: the trace seals once the last frame
+            # reaches (or is dropped by) the fabric.
+            tracer.end(trace_id)
         return frames
 
     def report_single(self, key: Key, value: bytes) -> Tuple[int, bytes]:
@@ -365,6 +368,7 @@ class DartSwitch:
                 f"switch={self.switch_id} copy={copy_index}",
             )
             tracer.bind_frame(frame[1], trace_id)
+            tracer.end(trace_id)
         return frame
 
     # ------------------------------------------------------------------
@@ -522,13 +526,16 @@ class DartSwitch:
 
         One :class:`~repro.core.batch.ReportBatch` resolution, one frame
         matrix, one ``send_batch`` -- the datapath BENCH_fabric's
-        ``packet_columnar`` mode measures.  Returns frames offered.  When
-        per-frame tracing is enabled the batch routes through the scalar
-        reference path so every frame keeps its spans.
+        ``packet_columnar`` mode measures.  Returns frames offered.  A
+        report-granularity tracer routes the batch through the scalar
+        reference path so every frame keeps its spans; a
+        batch-granularity tracer binds the whole frame batch to one
+        trace and stays columnar.
         """
         fabric = self._bound_fabric()
         items = list(items) if not isinstance(items, (list, tuple)) else items
-        if self._tracer.enabled:
+        tracer = self._tracer
+        if tracer.enabled and tracer.granularity != "batch":
             offered = 0
             for key, value in items:
                 offered += self.report_into(key, value)
@@ -536,6 +543,27 @@ class DartSwitch:
         batch = ReportBatch.from_items(self.addressing, items)
         frame_batch = self.encode_batch(batch)
         offered = frame_batch.count
+        if tracer.enabled:
+            # Batch granularity: one trace (or the caller's active one)
+            # covers the whole columnar batch, so the datapath stays
+            # vectorised end to end.  Head-sampled-out ids leave the
+            # batch unbound -- zero per-layer cost.
+            active = tracer.active_trace_id
+            trace_id = (
+                tracer.begin("switch_batch", key=f"rows={offered}")
+                if active is None
+                else active
+            )
+            tracer.span(
+                trace_id,
+                "switch.report_batch",
+                f"switch={self.switch_id} rows={offered}",
+            )
+            tracer.bind_batch(frame_batch, trace_id)
+            fabric.send_batch(frame_batch)
+            if active is None:
+                tracer.end(trace_id)
+            return offered
         fabric.send_batch(frame_batch)
         return offered
 

@@ -489,3 +489,44 @@ class TestFleetE2E:
         finally:
             obs.set_registry(previous_registry)
             obs.set_journal(previous_journal)
+
+
+class TestBundleTraces:
+    def test_bundle_embeds_kept_traces_and_critical_paths(self):
+        registry = _registry()
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            trace_id = tracer.begin("append", key="doomed")
+            tracer.span(trace_id, "append.reserve")
+            tracer.span(trace_id, "append.reserve.retry", status="retry")
+            tracer.end(trace_id)
+            bundle = obs.build_bundle(
+                reason="unit", registry=registry, journal=obs.EventJournal()
+            )
+            json.dumps(bundle)  # must stay JSON-serialisable
+            traces = bundle["traces"]
+            assert traces["kept"] == 1
+            assert traces["sealed"] == 1
+            rows = traces["records"]
+            assert rows[0]["trace_id"] == trace_id
+            assert "status:retry" in rows[0]["keep_reasons"]
+            summary = traces["critical_paths"][0]
+            assert summary["trace_id"] == trace_id
+            assert summary["complete"] is True
+        finally:
+            obs.set_tracer(previous)
+
+    def test_bundle_omits_traces_section_when_nothing_kept(self):
+        registry = _registry()
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            clean = tracer.begin("report")
+            tracer.end(clean)
+            bundle = obs.build_bundle(
+                reason="unit", registry=registry, journal=obs.EventJournal()
+            )
+            assert "traces" not in bundle
+        finally:
+            obs.set_tracer(previous)

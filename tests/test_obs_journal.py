@@ -200,3 +200,31 @@ class TestControlPlaneJournaling:
             assert sum(int(e.attr("overwritten")) for e in events) == 6
         finally:
             restore()
+
+
+class TestTraceCorrelation:
+    def test_record_defaults_to_the_active_trace(self):
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            journal = EventJournal()
+            trace_id = tracer.begin("failover", key="role-0")
+            with tracer.activate(trace_id):
+                event = journal.record("failover", "role 0 moved")
+            assert event.trace_id == trace_id
+            # Outside any active trace nothing is invented.
+            assert journal.record("failover", "later").trace_id is None
+            # An explicit id always wins over the ambient one.
+            with tracer.activate(trace_id):
+                explicit = journal.record("failover", "pinned", trace_id=7)
+            assert explicit.trace_id == 7
+        finally:
+            obs.set_tracer(previous)
+
+    def test_trace_id_surfaces_in_row_and_render(self):
+        journal = EventJournal()
+        event = journal.record("plan_apply", "node 0 -> 4", trace_id=909)
+        assert event.to_row()["trace_id"] == 909
+        assert "trace=909" in event.render()
+        bare = journal.record("plan_apply", "no trace")
+        assert "trace_id" not in bare.to_row()

@@ -391,3 +391,58 @@ class TestDisabledRegistry:
         registry.counter("c").inc()
         assert registry.snapshot().samples == {}
         assert registry.to_prometheus() == ""
+
+
+class TestHistogramExemplars:
+    def test_exemplar_tracks_the_quantile_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        # 98 fast observations, 2 slow ones carrying exemplar trace ids.
+        for _ in range(98):
+            h.observe(0.05)
+        h.observe_exemplar(5.0, 41)
+        h.observe_exemplar(5.0, 42)
+        # p99 rank lands in the slow bucket: latest exemplar wins there.
+        assert h.exemplar(0.99) == 42
+        # The median bucket has no exemplar stamped: nothing invented.
+        assert h.exemplar(0.5) is None
+
+    def test_exemplar_without_observations_is_none(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,))
+        assert h.exemplar() is None
+        h.observe(0.5)  # plain observations never stamp exemplars
+        assert h.exemplar() is None
+
+    def test_exemplar_lands_in_overflow_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe_exemplar(99.0, 7)  # beyond the last bound
+        assert h.exemplar(0.99) == 7
+
+    def test_exemplar_validates_quantile(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.exemplar(1.5)
+
+    def test_reset_clears_exemplars(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe_exemplar(0.5, 11)
+        h.reset()
+        assert h.exemplar() is None
+
+    def test_observe_exemplar_counts_like_observe(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe_exemplar(0.5, 11)
+        assert sum(h.counts) == 1
+        assert h.count == 1
+        assert h.sum == 0.5
+
+    def test_null_histogram_exemplars_are_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe_exemplar(0.5, 11)
+        assert h.exemplar() is None

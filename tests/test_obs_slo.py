@@ -344,3 +344,37 @@ class TestConformanceAcceptance:
         assert abs(alert.value) < 0.1
         assert registry.total("alerts_firing") == 0.0
         assert "repro_alerts_firing 0" in registry.to_prometheus()
+
+
+class TestTraceRetentionOnFire:
+    def test_firing_transition_tail_retains_live_traces(self):
+        registry, scraper, engine = _engine()
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            trace_id = tracer.begin("append", key="inflight")
+            tracer.span(trace_id, "append.reserve")
+            registry.counter("events").inc(10)
+            engine.add_rule(
+                SloRule(
+                    name="event-burst", expr="events",
+                    comparator=">=", threshold=5,
+                )
+            )
+            scraper.scrape(1)
+            engine.evaluate(1)
+            assert engine.alert("event-burst").firing
+            tracer.end(trace_id)
+            record = tracer.trace(trace_id)
+            assert "slo:event-burst" in record.keep_reasons
+            assert record in tracer.kept()
+            # Still-firing ticks are not new transitions: a trace begun
+            # after the transition is not retroactively tagged.
+            later = tracer.begin("append", key="later")
+            tracer.span(later, "append.reserve")
+            scraper.scrape(2)
+            engine.evaluate(2)
+            tracer.end(later)
+            assert "slo:event-burst" not in tracer.trace(later).keep_reasons
+        finally:
+            obs.set_tracer(previous)

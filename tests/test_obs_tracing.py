@@ -1,9 +1,16 @@
 """Tests for repro.obs.tracing: span ordering, frame binding, eviction."""
 
 from repro import obs
-from repro.fabric.fabric import InlineFabric
+from repro.fabric.fabric import BufferedFabric, InlineFabric
 from repro.fabric.impaired import ImpairedFabric
-from repro.obs.tracing import EVICTED_TRACE, NULL_TRACER, Tracer
+from repro.obs.trace_analysis import TraceAnalyzer
+from repro.obs.tracing import (
+    EVICTED_TRACE,
+    NULL_TRACER,
+    UNSAMPLED_TRACE,
+    Tracer,
+)
+from repro.primitives import AppendStore
 
 
 class _Port:
@@ -23,8 +30,8 @@ class _Port:
 def _fresh_obs():
     """Install a fresh registry+tracer; returns (registry, tracer, restore)."""
     registry = obs.MetricsRegistry()
-    tracer = obs.Tracer()
     previous_registry = obs.set_registry(registry)
+    tracer = obs.Tracer()  # after set_registry: its gauges land here
     previous_tracer = obs.set_tracer(tracer)
 
     def restore():
@@ -219,5 +226,157 @@ class TestSpanOrderingUnderReordering:
             record = tracer.trace(trace_id)
             assert record.stages == ("fabric.impair",)
             assert record.spans[0].detail == "dropped:loss"
+        finally:
+            restore()
+
+
+class TestSamplingAndTailRetention:
+    def test_head_sampling_is_deterministic_and_roughly_calibrated(self):
+        tracer = Tracer(sample_rate=0.25)
+        verdicts = [tracer.sampled(tid) for tid in range(1, 2001)]
+        assert verdicts == [tracer.sampled(tid) for tid in range(1, 2001)]
+        fraction = sum(verdicts) / len(verdicts)
+        assert 0.15 < fraction < 0.35
+
+    def test_unsampled_traces_record_nothing_but_stay_identifiable(self):
+        tracer = Tracer(sample_rate=0.0)
+        trace_id = tracer.begin("report", key="dropped")
+        tracer.span(trace_id, "stage.one")
+        tracer.bind_frame(b"frame", trace_id)
+        assert tracer.spans_recorded == 0
+        assert tracer.traces() == []
+        assert tracer.traces_sampled_out == 1
+        assert tracer.trace(trace_id) is UNSAMPLED_TRACE
+        assert UNSAMPLED_TRACE.kind == "unsampled"
+
+    def test_rate_bounds_are_exact(self):
+        always = Tracer(sample_rate=1.0)
+        never = Tracer(sample_rate=0.0)
+        assert all(always.sampled(tid) for tid in range(1, 100))
+        assert not any(never.sampled(tid) for tid in range(1, 100))
+
+    def test_non_ok_status_tail_retains_the_sealed_trace(self):
+        tracer = Tracer()
+        trace_id = tracer.begin("append")
+        tracer.span(trace_id, "append.reserve")
+        tracer.span(trace_id, "append.reserve.retry", status="retry")
+        tracer.end(trace_id)
+        record = tracer.trace(trace_id)
+        assert record.sealed
+        assert "status:retry" in record.keep_reasons
+        assert record in tracer.kept()
+        # Clean traces seal without being retained.
+        clean = tracer.begin("append")
+        tracer.span(clean, "append.reserve")
+        tracer.end(clean)
+        assert tracer.trace(clean) not in tracer.kept()
+
+    def test_keep_live_tags_inflight_traces(self):
+        tracer = Tracer()
+        first = tracer.begin("report")
+        tracer.span(first, "stage.one")
+        done = tracer.begin("report")
+        tracer.end(done)  # sealed before the keep: not tagged
+        assert tracer.keep_live("slo:drop-rate") >= 1
+        tracer.end(first)
+        assert "slo:drop-rate" in tracer.trace(first).keep_reasons
+        assert tracer.trace(first) in tracer.kept()
+        assert "slo:drop-rate" not in tracer.trace(done).keep_reasons
+
+    def test_kept_is_bounded_by_max_kept(self):
+        tracer = Tracer(max_kept=3)
+        ids = []
+        for i in range(6):
+            trace_id = tracer.begin("report", key=f"k{i}")
+            tracer.span(trace_id, "stage", status="error")
+            tracer.end(trace_id)
+            ids.append(trace_id)
+        kept = tracer.kept()
+        assert len(kept) == 3
+        assert [r.trace_id for r in kept] == ids[-3:]
+
+    def test_bindings_gauge_returns_to_zero(self):
+        registry, tracer, restore = _fresh_obs()
+        try:
+            gauge = registry.gauge("tracer_bindings_live")
+            fabric = ImpairedFabric(InlineFabric(), loss=1.0, seed=0)
+            fabric.attach(1, _Port())
+            delivered = tracer.begin("report")
+            tracer.bind_frame(b"ok-frame", delivered)
+            assert tracer.bindings_live == 1
+            assert gauge.value == 1
+            lossless = ImpairedFabric(InlineFabric(), seed=0)
+            lossless.attach(1, _Port())
+            lossless.send(1, b"ok-frame")
+            assert tracer.bindings_live == 0
+            # A lost frame's binding is released by the drop span too.
+            doomed = tracer.begin("report")
+            tracer.bind_frame(b"doomed", doomed)
+            fabric.send(1, b"doomed")
+            assert tracer.bindings_live == 0
+            assert gauge.value == 0
+        finally:
+            restore()
+
+
+class TestRetentionUnderImpairment:
+    """The satellite invariant: every tail-retained trace -- however it
+    got retained, and even when eviction or sampling raced it -- holds a
+    structurally complete root-to-leaf span tree."""
+
+    def _assert_kept_complete(self, tracer):
+        analyzer = TraceAnalyzer()
+        kept = tracer.kept()
+        assert kept, "scenario must tail-retain at least one trace"
+        for record in kept:
+            assert record.keep_reasons
+            analysis = analyzer.analyze(record)
+            assert analysis.complete, (
+                f"trace {record.trace_id}: {analysis.problems}"
+            )
+
+    def test_impaired_loss_with_eviction_and_sampling(self):
+        _registry, _tracer, restore = _fresh_obs()
+        tracer = Tracer(max_traces=6, sample_rate=0.6, max_kept=64)
+        obs.set_tracer(tracer)
+        try:
+            fabric = ImpairedFabric(
+                InlineFabric(), loss=0.15, reordering=0.4, seed=3
+            )
+            store = AppendStore(capacity=256, record_bytes=16, fabric=fabric)
+            writer = store.register_writer(0)
+            for i in range(60):
+                writer.append(b"rec-%04d" % i)
+            fabric.flush()
+            assert tracer.traces_evicted > 0
+            assert tracer.traces_sampled_out > 0
+            self._assert_kept_complete(tracer)
+            assert tracer.bindings_live == 0
+        finally:
+            restore()
+
+    def test_buffered_reordering_with_midflight_keeps(self):
+        _registry, _tracer, restore = _fresh_obs()
+        tracer = Tracer(max_traces=6, sample_rate=0.7, max_kept=64)
+        obs.set_tracer(tracer)
+        try:
+            fabric = BufferedFabric(flush_threshold=8)
+            store = AppendStore(capacity=256, record_bytes=16, fabric=fabric)
+            writer = store.register_writer(0)
+            for i in range(40):
+                if i % 10 == 9:
+                    # Every tenth append runs under an explicitly kept
+                    # audit trace; eviction must not corrupt its tree.
+                    trace_id = tracer.begin("audit", key=f"i={i}")
+                    with tracer.activate(trace_id):
+                        writer.append(b"buf-%04d" % i)
+                    tracer.keep(trace_id, "audit")
+                    tracer.end(trace_id)
+                else:
+                    writer.append(b"buf-%04d" % i)
+            fabric.flush()
+            assert tracer.traces_evicted > 0
+            self._assert_kept_complete(tracer)
+            assert tracer.bindings_live == 0
         finally:
             restore()
