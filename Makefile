@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-obs-timeseries bench-obs-fleet bench-obs-trace bench-control bench-fabric-columnar bench-primitives experiments experiments-full examples lint ci all
+.PHONY: install test bench bench-obs bench-obs-timeseries bench-obs-fleet bench-obs-trace bench-control bench-fabric-columnar bench-primitives bench-query experiments experiments-full examples lint ci all
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -19,7 +19,7 @@ lint:
 	  echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-ci: lint bench-obs bench-obs-timeseries bench-obs-fleet bench-obs-trace bench-control bench-fabric-columnar bench-primitives
+ci: lint bench-obs bench-obs-timeseries bench-obs-fleet bench-obs-trace bench-control bench-fabric-columnar bench-primitives bench-query
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
@@ -66,6 +66,13 @@ bench-fabric-columnar:
 # (writes benchmarks/BENCH_primitives.json).
 bench-primitives:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_primitives.py -q
+
+# Query front-end gate: >= 10k concurrent closed-loop users sustained on
+# the packet clock, the TTL result cache >= 5x faster than the uncached
+# shard fan-out at p99, and over-quota tenants rejected without touching
+# in-quota latency (writes benchmarks/BENCH_query.json).
+bench-query:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_query.py -q
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

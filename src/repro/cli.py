@@ -22,12 +22,17 @@ Operator-facing entry points over the library:
   controller detect the failure, re-provision every switch and converge;
 - ``primitives`` -- demo the full DTA primitive set (Append rings,
   Key-Increment counters, Sketch-Merge) over a chosen fabric flavour and
-  print the cross-layer counter reconciliation.
+  print the cross-layer counter reconciliation;
+- ``query`` -- run one declarative query (filter / aggregate / top-k over
+  keys, counters, sketch estimates or append rings) against a populated
+  demo fleet through the :mod:`repro.query` front end; ``--explain``
+  prints the shard fan-out plan instead of executing it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional
 
 from repro.core import theory
@@ -549,6 +554,98 @@ def _cmd_primitives(args: argparse.Namespace) -> int:
         obs.set_registry(previous_registry)
 
 
+def _query_demo_fleet(args: argparse.Namespace):
+    """Build and populate the demo fleet ``repro query`` runs against."""
+    from repro.query import QueryFleet, fabric_flavour
+
+    fleet = QueryFleet(
+        fabric_factory=fabric_flavour(
+            args.fabric, loss=args.loss, seed=args.seed
+        ),
+        num_standbys=args.standbys,
+    )
+    keys = [f"flow-{index}" for index in range(args.keys)]
+    fleet.put_many(
+        (key, b"v%d" % index) for index, key in enumerate(keys)
+    )
+    fleet.count_many((key, index + 1) for index, key in enumerate(keys))
+    fleet.sketch_many((key, 2 * index + 1) for index, key in enumerate(keys))
+    for key in keys[: min(8, len(keys))]:
+        fleet.append(key, key.encode())
+    return fleet
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.query import QueryService
+
+    registry = obs.MetricsRegistry(enabled=True)
+    previous_registry = obs.set_registry(registry)
+    try:
+        fleet = _query_demo_fleet(args)
+        service = QueryService(fleet)
+        if args.explain:
+            print(service.explain(args.query))
+            return 0
+        result = service.serve(args.query)
+        answer = result.answer
+        if args.json:
+            rows = [
+                {
+                    key: (
+                        value.decode("latin-1").rstrip("\x00")
+                        if isinstance(value, bytes)
+                        else value
+                    )
+                    for key, value in row.items()
+                }
+                for row in answer.rows
+            ]
+            print(
+                json.dumps(
+                    {
+                        "query": answer.query.canonical(),
+                        "epoch": answer.epoch,
+                        "value": answer.value,
+                        "rows": rows,
+                        "shards_total": answer.shards_total,
+                        "shards_failed": answer.shards_failed,
+                        "complete": answer.complete,
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        print(f"query:  {answer.query.canonical()}")
+        print(
+            f"epoch:  {answer.epoch}  shards: {answer.shards_total} "
+            f"({answer.shards_failed} failed)"
+        )
+        if answer.value is not None:
+            print(f"value:  {answer.value:g}")
+        if answer.rows:
+            print(
+                format_table(
+                    [
+                        {
+                            key: (
+                                value.decode("latin-1").rstrip("\x00")
+                                if isinstance(value, bytes)
+                                else value
+                            )
+                            for key, value in row.items()
+                        }
+                        for row in answer.rows
+                    ]
+                )
+            )
+        elif answer.value is None:
+            print("(no rows)")
+        return 0
+    finally:
+        obs.set_registry(previous_registry)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -726,6 +823,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     primitives_p.add_argument("--seed", type=int, default=0)
     primitives_p.set_defaults(func=_cmd_primitives)
+
+    query_p = sub.add_parser(
+        "query",
+        help="run one declarative query against a populated demo fleet",
+    )
+    query_p.add_argument(
+        "query",
+        help='e.g. \'select sum(est) from counters where key contains "flow"\'',
+    )
+    query_p.add_argument(
+        "--fabric",
+        choices=("inline", "buffered", "impaired"),
+        default="inline",
+        help="transport flavour both fleet planes run over",
+    )
+    query_p.add_argument(
+        "--loss", type=float, default=0.05,
+        help="request-leg loss rate for --fabric impaired",
+    )
+    query_p.add_argument(
+        "--keys", type=int, default=32, help="demo keys written before serving"
+    )
+    query_p.add_argument(
+        "--standbys", type=int, default=0, help="warm standby collectors"
+    )
+    query_p.add_argument(
+        "--explain", action="store_true",
+        help="print the shard fan-out plan instead of executing",
+    )
+    query_p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    query_p.add_argument("--seed", type=int, default=0)
+    query_p.set_defaults(func=_cmd_query)
     return parser
 
 

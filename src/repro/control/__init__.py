@@ -37,6 +37,7 @@ from repro.control.plan import (
     build_failover_plan,
     select_standby,
 )
+from repro.control.shards import ShardAssignment, ShardMap, shard_map_of
 
 __all__ = [
     "PROBE_ENDPOINT_BASE",
@@ -50,9 +51,12 @@ __all__ = [
     "NoStandbyAvailableError",
     "ProbeStation",
     "ReconfigurationPlan",
+    "ShardAssignment",
+    "ShardMap",
     "SwitchUpdate",
     "apply_plan",
     "build_failover_plan",
     "probe_endpoint",
     "select_standby",
+    "shard_map_of",
 ]

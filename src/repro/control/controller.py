@@ -173,6 +173,20 @@ class FleetController:
             return self.epoch_manager.current_epoch
         return self.epoch
 
+    def shard_map(self):
+        """The epoch-current keyspace shard map (the query-plane lookup API).
+
+        Freezes the cluster's live role assignments under this
+        controller's table-version epoch into an immutable
+        :class:`~repro.control.shards.ShardMap`.  Consumers (the
+        :mod:`repro.query` planner, result caches) compare a plan's or
+        cache entry's epoch against a fresh map's to detect that a
+        failover has remapped shards underneath them.
+        """
+        from repro.control.shards import shard_map_of
+
+        return shard_map_of(self.cluster, epoch=self.current_epoch)
+
     def _publish_state(self) -> None:
         """Refresh the per-state member gauges and epoch gauge."""
         for state, gauge in self._state_gauges.items():

@@ -74,6 +74,7 @@ from repro.obs.slo import (
     conformance_rules,
     default_rules,
     expected_success,
+    query_rules,
 )
 from repro.obs.timeseries import (
     MetricsScraper,
@@ -206,6 +207,7 @@ __all__ = [
     "StageStats",
     "conformance_rules",
     "default_rules",
+    "query_rules",
     "expected_success",
     "get_profiler",
     "set_profiler",

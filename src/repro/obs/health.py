@@ -78,6 +78,9 @@ class PipelineHealth:
     mem_slot_overwrites: int = 0
     # Query plane, per return policy.
     queries: List[QueryHealth] = field(default_factory=list)
+    # Query front-end fan-out accounting (repro.query).
+    fanout_shards: int = 0
+    fanout_shard_failures: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -116,6 +119,18 @@ class PipelineHealth:
         ``CounterStore.merge_from``).
         """
         return self.mem_atomics - self.nic_atomics_executed
+
+    @property
+    def shard_failure_rate(self) -> float:
+        """Fraction of fanned-out shard sub-queries that found their
+        shard unreachable.
+
+        The query front end merges whatever shards answered, so a
+        partial-shard failure is invisible in the *answer* -- this rate
+        is where it must show up instead (and what the query SLO rules
+        watch during failover).
+        """
+        return _rate(self.fanout_shard_failures, self.fanout_shards)
 
     @property
     def slot_overwrite_rate(self) -> float:
@@ -194,6 +209,10 @@ class PipelineHealth:
             mem_atomics=int(total("mem_atomics")),
             mem_slot_overwrites=int(total("mem_slot_overwrites")),
             queries=queries,
+            fanout_shards=int(total("query_fanout_shards_total")),
+            fanout_shard_failures=int(
+                total("query_fanout_shard_failures_total")
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -219,6 +238,9 @@ class PipelineHealth:
             "atomic_bypass_delta": self.atomic_bypass_delta,
             "mem_slot_overwrites": self.mem_slot_overwrites,
             "slot_overwrite_rate": self.slot_overwrite_rate,
+            "fanout_shards": self.fanout_shards,
+            "fanout_shard_failures": self.fanout_shard_failures,
+            "shard_failure_rate": self.shard_failure_rate,
             "queries": {
                 q.policy: {
                     "total": q.total,
@@ -322,6 +344,12 @@ def render_dashboard(
         f"(atomic bypass delta {health.atomic_bypass_delta})"
     )
     lines.append(f"slot overwrite rate   {health.slot_overwrite_rate:>10.4f}")
+    if health.fanout_shards:
+        lines.append(
+            f"query fan-out shards  {health.fanout_shards:>10}  "
+            f"failed {health.fanout_shard_failures} "
+            f"(failure rate {health.shard_failure_rate:.4f})"
+        )
 
     stage_histograms = [] if node is not None else (
         _merged_stage_histograms(registry)

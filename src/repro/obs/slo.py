@@ -483,3 +483,62 @@ def conformance_rules(
             )
         )
     return rules
+
+
+def _query_p99(context: EvalContext) -> Optional[float]:
+    """Worst per-tenant p99 of ``query_service_seconds`` (None = no data).
+
+    The max (not a merged quantile) is deliberate: the quota design
+    promises that one abusive tenant cannot degrade another's latency,
+    so the SLO must hold for *every* tenant, not on average.
+    """
+    worst = None
+    for _labels, metric in context.registry.samples("query_service_seconds"):
+        if metric.kind != "histogram" or not metric.count:
+            continue
+        p99 = metric.quantile(0.99)
+        if worst is None or p99 > worst:
+            worst = p99
+    return worst
+
+
+def query_rules(
+    p99_seconds: float = 0.25,
+    shard_failure_tolerance: float = 0.0,
+    for_ticks: int = 2,
+) -> List[SloRule]:
+    """SLO rules for the :mod:`repro.query` front end.
+
+    Three watchdogs: the worst per-tenant query p99 (the latency SLO the
+    load generator exercises), the fan-out shard-failure rate (partial
+    answers are invisible in results -- this is where they must alarm),
+    and admission sheds (the service running past its pending budget).
+    """
+    return [
+        SloRule(
+            name="query-p99-latency",
+            expr=_query_p99,
+            comparator=">",
+            threshold=p99_seconds,
+            for_ticks=for_ticks,
+            description=(
+                f"worst per-tenant query p99 above {p99_seconds:g}s"
+            ),
+        ),
+        SloRule(
+            name="query-shard-failures",
+            expr="health.shard_failure_rate",
+            comparator=">",
+            threshold=shard_failure_tolerance,
+            for_ticks=for_ticks,
+            description="fan-out sub-queries finding shards unreachable",
+        ),
+        SloRule(
+            name="query-admission-sheds",
+            expr="query_admission_rejections_total",
+            comparator=">",
+            threshold=0,
+            for_ticks=for_ticks,
+            description="queries shed at the admission gate",
+        ),
+    ]

@@ -1,0 +1,358 @@
+"""Per-shard one-sided read execution behind the shared response demux.
+
+The planner decides *what* to read from *which* shard; this module does
+the reading.  For every keyspace shard it keeps one
+:class:`~repro.primitives.clients.OneSidedReader` per read substrate,
+built against the shard's *serving node* (its NIC, rkey, base address)
+and rebuilt automatically when a failover moves the role to a standby --
+the reader cache is keyed on ``(role, node_id)``, so a stale binding can
+never survive a shard-map change.
+
+Two properties the query front end depends on:
+
+- **Pipelined, flushed reads.**  Everything goes through
+  :meth:`OneSidedReader.read_run` (requests, flush, drain), so the same
+  backend works over Inline, Buffered *and* Impaired fabrics -- an
+  unflushed single READ would deadlock a deferring fabric.
+- **Bounded retry against request-leg loss.**  The impaired fabric drops
+  request frames; the response leg is modelled lossless, so a missing
+  payload means the request never executed and re-issuing is safe
+  (reads are idempotent).  :meth:`FanoutBackend.read_reliable` retries
+  only the missing addresses; a shard whose reads *never* complete
+  (a dead node drops every frame) raises :class:`ShardUnavailable`,
+  which the service surfaces as a partial-shard failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.collector.collector import CollectorCluster
+from repro.control.shards import ShardAssignment, ShardMap
+from repro.core.addressing import DartAddressing
+from repro.core.config import DartConfig
+from repro.core.policies import QueryResult, ReturnPolicy, resolve
+from repro.hashing.hash_family import Key
+from repro.primitives.clients import OneSidedReader
+from repro.primitives.translator import ResponseDemux
+
+#: Requester QP of the query front end's keys-plane reader for role 0.
+QUERY_KEYS_QP_BASE = 0xC00
+
+#: Requester QP of the front end's counter/sketch/ring readers.
+QUERY_STORE_QP_BASE = 0xD00
+
+#: Default bounded-retry rounds against request-leg loss.
+DEFAULT_READ_ATTEMPTS = 16
+
+
+class ShardUnavailable(RuntimeError):
+    """A shard's reads never completed -- its serving node is unreachable."""
+
+    def __init__(self, role: int, node_id: int) -> None:
+        super().__init__(
+            f"shard role={role} (node {node_id}) is unreachable: "
+            f"no READ completed within the retry budget"
+        )
+        self.role = role
+        self.node_id = node_id
+
+
+def key_text(key: Key) -> str:
+    """The textual form of a key, as query predicates see the ``key`` field."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, bytes):
+        return key.decode("latin-1")
+    return repr(key)
+
+
+class FanoutBackend:
+    """Executes one shard's worth of reads for every query source.
+
+    Parameters
+    ----------
+    config:
+        The deployment config (addressing, slot geometry).
+    cluster:
+        The collector fleet the keys plane reads from.
+    keys_fabric:
+        The fabric collectors are attached to by role (endpoint = role).
+    counter_stores / sketch_stores / ring_stores:
+        Per-role primitive stores (may be empty dicts for keys-only
+        deployments); each store carries its own fabric/NIC/demux.
+    read_attempts:
+        Bounded retry rounds per read batch before a shard is declared
+        unavailable.
+    """
+
+    def __init__(
+        self,
+        config: DartConfig,
+        cluster: CollectorCluster,
+        keys_fabric,
+        counter_stores: Optional[Dict[int, object]] = None,
+        sketch_stores: Optional[Dict[int, object]] = None,
+        ring_stores: Optional[Dict[int, object]] = None,
+        read_attempts: int = DEFAULT_READ_ATTEMPTS,
+    ) -> None:
+        if read_attempts < 1:
+            raise ValueError(f"read_attempts must be >= 1, got {read_attempts}")
+        self.config = config
+        self.cluster = cluster
+        self.keys_fabric = keys_fabric
+        self.counter_stores = counter_stores or {}
+        self.sketch_stores = sketch_stores or {}
+        self.ring_stores = ring_stores or {}
+        self.read_attempts = read_attempts
+        self.addressing = DartAddressing(config)
+        self._codec = config.slot_codec()
+        #: (role, node_id) -> keys-plane reader; rebuilt on failover.
+        self._keys_readers: Dict[Tuple[int, int], OneSidedReader] = {}
+        #: Serial QP allocator for keys-plane readers: a role that moves
+        #: away and back again needs a fresh QP number (the old one is
+        #: still registered on the node's NIC).
+        self._next_keys_qp = QUERY_KEYS_QP_BASE
+        #: (source, role) -> store reader (store identity never moves).
+        self._store_readers: Dict[Tuple[str, int], OneSidedReader] = {}
+
+    # ------------------------------------------------------------------
+    # Reader plumbing
+    # ------------------------------------------------------------------
+
+    def _keys_reader(self, shard: ShardAssignment) -> OneSidedReader:
+        """The keys-plane reader for one shard, bound to its serving node."""
+        cache_key = (shard.role, shard.node_id)
+        reader = self._keys_readers.get(cache_key)
+        if reader is None:
+            # A failover changed the node behind this role: drop any
+            # reader bound to the displaced node so responses can't be
+            # misattributed, then bind to the new node's NIC and rkey.
+            for stale in [
+                k for k in self._keys_readers if k[0] == shard.role
+            ]:
+                del self._keys_readers[stale]
+            node = self.cluster.node(shard.node_id)
+            qp_number = self._next_keys_qp
+            self._next_keys_qp += 1
+            reader = OneSidedReader(
+                self.keys_fabric,
+                shard.role,
+                node.nic,
+                qp_number,
+                ResponseDemux(),
+                node.region.rkey,
+            )
+            self._keys_readers[cache_key] = reader
+        return reader
+
+    def _store_reader(self, source: str, role: int, store) -> OneSidedReader:
+        """The reader for one primitive store shard (shares its demux)."""
+        cache_key = (source, role)
+        reader = self._store_readers.get(cache_key)
+        if reader is None:
+            reader = OneSidedReader(
+                store.fabric,
+                store.endpoint_id,
+                store.nic,
+                QUERY_STORE_QP_BASE + role,
+                store.demux,
+                store.region.rkey,
+            )
+            self._store_readers[cache_key] = reader
+        return reader
+
+    def read_reliable(
+        self,
+        reader: OneSidedReader,
+        addresses: List[int],
+        length: int,
+        shard: ShardAssignment,
+    ) -> List[bytes]:
+        """Pipelined READs with bounded retry of the lost request legs.
+
+        Returns one payload per address, complete or not at all: if any
+        address is still unanswered after the retry budget the shard is
+        declared :class:`ShardUnavailable` (the dead-node signature is
+        *every* frame vanishing, and partial results would break the
+        byte-identity contract with direct reads).
+        """
+        if not addresses:
+            return []
+        results: List[Optional[bytes]] = [None] * len(addresses)
+        pending = list(range(len(addresses)))
+        for _attempt in range(self.read_attempts):
+            batch = [addresses[i] for i in pending]
+            payloads = reader.read_run(batch, length)
+            still_pending = []
+            for index, payload in zip(pending, payloads):
+                if payload is None:
+                    still_pending.append(index)
+                else:
+                    results[index] = payload
+            pending = still_pending
+            if not pending:
+                return [payload for payload in results if payload is not None]
+        raise ShardUnavailable(shard.role, shard.node_id)
+
+    # ------------------------------------------------------------------
+    # Source row readers (one shard each)
+    # ------------------------------------------------------------------
+
+    def keys_rows(
+        self,
+        shard: ShardAssignment,
+        keys: List[Key],
+        policy: ReturnPolicy,
+    ) -> List[Dict[str, object]]:
+        """Key-query rows for one shard: DART slot reads + return policy.
+
+        Value-identical to :class:`~repro.core.client.DartQueryClient`
+        on the same keys: the N slot addresses come from the shared
+        addressing, checksum-mismatched slots are discarded, and the
+        same :func:`~repro.core.policies.resolve` folds the survivors.
+        """
+        if not keys:
+            return []
+        reader = self._keys_reader(shard)
+        redundancy = self.config.redundancy
+        addresses = []
+        checksums = []
+        for key in keys:
+            resolved = self.addressing.resolve(key)
+            checksums.append(resolved.checksum)
+            for slot_index in resolved.slot_indexes:
+                addresses.append(
+                    self.addressing.slot_address(shard.base_address, slot_index)
+                )
+        payloads = self.read_reliable(
+            reader, addresses, self.config.slot_bytes, shard
+        )
+        rows = []
+        for index, key in enumerate(keys):
+            matching: List[bytes] = []
+            for copy in range(redundancy):
+                raw = payloads[index * redundancy + copy]
+                stored_checksum, value = self._codec.decode(raw)
+                if stored_checksum == checksums[index]:
+                    matching.append(value)
+            result: QueryResult = resolve(
+                matching, policy, slots_read=redundancy
+            )
+            rows.append(
+                {
+                    "key": key_text(key),
+                    "value": result.value,
+                    "answered": result.answered,
+                }
+            )
+        return rows
+
+    def _estimate_rows(
+        self,
+        source: str,
+        stores: Dict[int, object],
+        shard: ShardAssignment,
+        keys: List[Key],
+    ) -> List[Dict[str, object]]:
+        """Count-min estimate rows for one counter/sketch shard."""
+        if not keys:
+            return []
+        store = stores.get(shard.role)
+        if store is None:
+            raise ShardUnavailable(shard.role, shard.node_id)
+        reader = self._store_reader(source, shard.role, store)
+        addresses = []
+        for key in keys:
+            for row in range(store.rows):
+                addresses.append(store.translator.cell_address(key, row))
+        payloads = self.read_reliable(reader, addresses, 8, shard)
+        rows = []
+        for index, key in enumerate(keys):
+            cells = [
+                int.from_bytes(
+                    payloads[index * store.rows + row], "big"
+                )
+                for row in range(store.rows)
+            ]
+            rows.append({"key": key_text(key), "est": min(cells)})
+        return rows
+
+    def counter_rows(
+        self, shard: ShardAssignment, keys: List[Key]
+    ) -> List[Dict[str, object]]:
+        """Counter-bank estimate rows for one shard (min across rows)."""
+        return self._estimate_rows("counters", self.counter_stores, shard, keys)
+
+    def sketch_rows(
+        self, shard: ShardAssignment, keys: List[Key]
+    ) -> List[Dict[str, object]]:
+        """Sketch-bank estimate rows for one shard (min across rows)."""
+        return self._estimate_rows("sketch", self.sketch_stores, shard, keys)
+
+    def ring_rows(self, shard: ShardAssignment) -> List[Dict[str, object]]:
+        """Append-ring rows for one shard: remote tail + readable window.
+
+        Mirrors :meth:`~repro.primitives.clients.AppendQueryClient.snapshot`
+        but with flushed, retried reads, so the window is complete (not
+        best-effort) and the same records come back over any fabric.
+        """
+        store = self.ring_stores.get(shard.role)
+        if store is None:
+            raise ShardUnavailable(shard.role, shard.node_id)
+        reader = self._store_reader("ring", shard.role, store)
+        tail_raw = self.read_reliable(reader, [store.tail_address], 8, shard)
+        tail = int.from_bytes(tail_raw[0], "big")
+        head = max(0, tail - store.capacity)
+        indexes = list(range(head, tail))
+        addresses = [
+            store.data_address + (i % store.capacity) * store.record_bytes
+            for i in indexes
+        ]
+        payloads = self.read_reliable(reader, addresses, store.record_bytes, shard)
+        return [
+            {"index": index, "record": payload}
+            for index, payload in zip(indexes, payloads)
+        ]
+
+    # ------------------------------------------------------------------
+    # Entry point the planner's executor calls
+    # ------------------------------------------------------------------
+
+    def rows_for(
+        self,
+        source: str,
+        shard: ShardAssignment,
+        keys: List[Key],
+        policy: ReturnPolicy,
+    ) -> List[Dict[str, object]]:
+        """Dispatch one shard read by source name (the planner's seam)."""
+        if source == "keys":
+            return self.keys_rows(shard, keys, policy)
+        if source == "counters":
+            return self.counter_rows(shard, keys)
+        if source == "sketch":
+            return self.sketch_rows(shard, keys)
+        if source == "ring":
+            return self.ring_rows(shard)
+        raise ValueError(f"unknown source {source!r}")
+
+    def shards_for(
+        self, shard_map: ShardMap, keys: Optional[List[Key]]
+    ) -> Dict[int, List[Key]]:
+        """Group candidate keys by the shard (role) that stores them.
+
+        ``None`` keys (key-less sources like ``ring``) map every shard to
+        an empty candidate list -- the fan-out still covers the fleet.
+        """
+        grouped: Dict[int, List[Key]] = {}
+        if keys is None:
+            return {role: [] for role in shard_map.roles()}
+        for key in keys:
+            role = self.addressing.collector_of(key)
+            grouped.setdefault(role, []).append(key)
+        return grouped
+
+
+#: A provider the planner polls for the epoch-current shard map.
+ShardMapProvider = Callable[[], ShardMap]

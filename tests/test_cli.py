@@ -259,3 +259,79 @@ class TestControl:
         out = capsys.readouterr().out
         assert code == 1
         assert "no failover occurred" in out
+
+
+class TestQueryCommand:
+    def test_point_lookup_table(self, capsys):
+        code = main(["query", 'select value from keys where key == "flow-3"'])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "epoch:  0" in out
+        assert "flow-3" in out
+        assert "v3" in out
+
+    def test_aggregate_prints_scalar(self, capsys):
+        assert main(["query", "select sum(est) from counters"]) == 0
+        out = capsys.readouterr().out
+        assert "value:  528" in out  # sum of 1..32 over the demo fleet
+
+    def test_topk_table_is_ordered(self, capsys):
+        assert main(["query", "select est from sketch top 3 by est"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("flow-31") < out.index("flow-30") < out.index("flow-29")
+
+    def test_json_output(self, capsys):
+        import json as json_module
+
+        code = main(
+            ["query", "--json", 'select value from keys where key contains "flow-1"']
+        )
+        payload = json_module.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["complete"] is True
+        assert payload["shards_failed"] == 0
+        keys = {row["key"] for row in payload["rows"]}
+        assert "flow-1" in keys and "flow-12" in keys
+
+    def test_explain_prints_plan_without_executing(self, capsys):
+        code = main(
+            ["query", "--explain", 'select value from keys where key == "flow-3"']
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan for:" in out
+        assert "push-down: 31 candidate(s) pruned" in out
+        assert "fan-out:   1 shard(s)" in out
+
+    def test_runs_over_every_fabric(self, capsys):
+        # Lossless fabrics serve the exact demo total; the impaired
+        # fabric drops some *write* frames (reports are fire-and-forget
+        # in DART), so its total is whatever actually landed -- the
+        # query must still complete and report every shard.
+        for fabric in ("inline", "buffered"):
+            code = main(
+                ["query", "--fabric", fabric, "select sum(est) from counters"]
+            )
+            assert code == 0
+            assert "value:  528" in capsys.readouterr().out
+        code = main(
+            ["query", "--fabric", "impaired", "select sum(est) from counters"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shards: 4 (0 failed)" in out
+        value = int(out.split("value:")[1].strip())
+        assert 0 < value <= 528
+
+    def test_parse_error_surfaces(self, capsys):
+        from repro.query import QueryParseError
+
+        with pytest.raises(QueryParseError):
+            main(["query", "select nope from nowhere"])
+
+    def test_restores_process_registry(self):
+        from repro import obs
+
+        before = obs.get_registry()
+        assert main(["query", "select count(*) from ring"]) == 0
+        assert obs.get_registry() is before

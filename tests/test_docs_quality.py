@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.network",
     "repro.obs",
     "repro.primitives",
+    "repro.query",
     "repro.rdma",
     "repro.switch",
     "repro.switch.p4",
